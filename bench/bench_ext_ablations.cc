@@ -1,0 +1,85 @@
+// Design-choice ablations called out in DESIGN.md:
+//  * the profiling safety coefficient gamma (how much of each profiled idle
+//    span Algorithm 2 is allowed to budget);
+//  * the replica count m (recovery probability vs checkpoint traffic vs the
+//    frequency the idle time can sustain).
+// Together with Figure 16's sub-buffer sweep, these cover every tunable the
+// paper introduces.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/placement/placement.h"
+#include "src/placement/probability.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader("Extension: design ablations — gamma and replica count m",
+                     "DESIGN.md ablation list (paper Sections 4, 5.3)");
+
+  // ---- gamma sweep --------------------------------------------------------
+  std::cout << "(a) gamma sweep, GPT-2 40B on 16x p3dn (the tightest workload):\n";
+  TablePrinter gamma_table({"gamma", "Chunks", "Fits", "Overhead", "Ckpt done (s)",
+                            "Interval k"});
+  bool gamma_ok = true;
+  for (const double gamma : {0.3, 0.5, 0.7, 0.9, 1.0}) {
+    ExecutorParams params = bench::GeminiExecutor(bench::P3dnTimeline(Gpt2_40B()));
+    params.gamma = gamma;
+    const FrequencyDecision decision = ChooseCheckpointFrequency(params);
+    if (!decision.execution.status.ok()) {
+      std::cerr << decision.execution.status << "\n";
+      return 1;
+    }
+    gamma_table.AddRow(
+        {TablePrinter::Fmt(gamma, 1),
+         TablePrinter::Fmt(static_cast<int64_t>(decision.execution.partition.chunks.size())),
+         decision.execution.partition.fits_within_idle_time ? "yes" : "no",
+         TablePrinter::Fmt(decision.execution.overhead_fraction * 100.0) + " %",
+         TablePrinter::Fmt(ToSeconds(decision.execution.checkpoint_done)),
+         TablePrinter::Fmt(static_cast<int64_t>(decision.interval_iterations))});
+    // Whatever gamma, frequency adaptation must find a zero-overhead plan.
+    gamma_ok &= decision.execution.overhead_fraction < 0.005;
+  }
+  gamma_table.Print(std::cout);
+  std::cout << "Smaller gamma budgets less of each span (more conservative against\n"
+               "iteration-to-iteration variance); the frequency adapter absorbs the\n"
+               "lost capacity by lowering the checkpoint frequency when needed.\n";
+
+  // ---- replica-count sweep -------------------------------------------------
+  std::cout << "\n(b) replica count m, GPT-2 100B on 16x p4d:\n";
+  TablePrinter m_table({"m", "P(recover k=2)", "P(recover k=3)", "Traffic (x C)",
+                        "CPU memory (x C)", "Interval k", "Overhead"});
+  bool m_ok = true;
+  double previous_p2 = -1.0;
+  for (const int m : {1, 2, 3, 4}) {
+    ExecutorParams params = bench::GeminiExecutor(bench::P4dTimeline(Gpt2_100B()), m);
+    const FrequencyDecision decision = ChooseCheckpointFrequency(params);
+    if (!decision.execution.status.ok()) {
+      std::cerr << decision.execution.status << "\n";
+      return 1;
+    }
+    const auto plan = BuildMixedPlacement(16, m);
+    const double p2 = ExactRecoveryProbability(*plan, 2).value_or(-1);
+    const double p3 = ExactRecoveryProbability(*plan, 3).value_or(-1);
+    m_table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(m)), TablePrinter::Fmt(p2, 4),
+                    TablePrinter::Fmt(p3, 4),
+                    TablePrinter::Fmt(static_cast<int64_t>(m - 1)),
+                    TablePrinter::Fmt(static_cast<int64_t>(2 * m)),
+                    TablePrinter::Fmt(static_cast<int64_t>(decision.interval_iterations)),
+                    TablePrinter::Fmt(decision.execution.overhead_fraction * 100.0) + " %"});
+    m_ok &= decision.execution.overhead_fraction < 0.005;
+    m_ok &= p2 >= previous_p2;  // Probability is monotone in m.
+    previous_p2 = p2;
+  }
+  m_table.Print(std::cout);
+  std::cout << "m = 2 is the paper's sweet spot: 93%+ double-failure coverage for one\n"
+               "replica's worth of traffic; m >= 3 buys certainty against double\n"
+               "failures at 2-3x the traffic and CPU memory.\n";
+
+  const bool pass = gamma_ok && m_ok;
+  std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL")
+            << " — training overhead stays at zero across the whole design space\n"
+               "(the scheduler trades frequency, never iteration time), and recovery\n"
+               "probability grows monotonically with m.\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,69 @@
+// Extension (paper Section 8): quantitative comparison with the related
+// checkpointing systems the paper discusses qualitatively — DeepFreeze
+// (async persistence), CheckFreq (tuned frequency), Check-N-Run (lossy
+// compression) — on the Figure 10/12 workload. The claim carried over from
+// Section 8: each improves one axis, but with the remote store still on the
+// recovery path, none approaches GEMINI's wasted time.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/baselines/related_work.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader(
+      "Extension: related-work comparison (GPT-2 100B, 16x p4d.24xlarge)",
+      "paper Section 8 (related work), quantified on the Figure 10/12 workload");
+
+  const TimelineParams timeline = bench::P4dTimeline(Gpt2_100B());
+  const ExecutionResult execution =
+      ExecuteIterationWithCheckpoint(bench::GeminiExecutor(timeline));
+  if (!execution.status.ok()) {
+    std::cerr << execution.status << "\n";
+    return 1;
+  }
+  const CheckpointWorkload workload = bench::MakeWorkload(timeline, execution);
+
+  const SystemModel gemini = BuildGemini(workload, /*replaced_machines=*/1);
+  std::vector<SystemModel> systems = {
+      BuildStrawman(workload),   BuildHighFreq(workload),  BuildDeepFreeze(workload),
+      BuildCheckFreq(workload),  BuildCheckNRun(workload), gemini,
+  };
+
+  TablePrinter table({"System", "Ckpt interval", "Train stall/ckpt", "Avg wasted time",
+                      "vs GEMINI", "Notes"});
+  bool gemini_wins = true;
+  for (const SystemModel& model : systems) {
+    const double ratio = static_cast<double>(model.AverageWastedTime()) /
+                         static_cast<double>(gemini.AverageWastedTime());
+    std::string note;
+    if (model.name == "DeepFreeze") {
+      note = "async, but store-bound frequency";
+    } else if (model.name == "CheckFreq") {
+      note = "overhead-capped frequency tuning";
+    } else if (model.name == "Check-N-Run") {
+      note = "4x lossy compression (accuracy risk)";
+    } else if (model.name == "GEMINI") {
+      note = "CPU-memory tier, lossless";
+    }
+    table.AddRow({model.name, FormatDuration(model.checkpoint_interval),
+                  FormatDuration(model.training_block_per_checkpoint),
+                  FormatDuration(model.AverageWastedTime()),
+                  TablePrinter::Fmt(ratio, 1) + "x", note});
+    if (model.name == "Check-N-Run") {
+      // Lossy 4x compression narrows the gap the most — to ~4x — while
+      // GEMINI stays lossless.
+      gemini_wins &= ratio > 3.0;
+    } else if (model.name != "GEMINI") {
+      gemini_wins &= ratio > 10.0;
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nShape check: " << (gemini_wins ? "PASS" : "FAIL")
+            << " — every remote-storage design still pays the store's bandwidth on\n"
+               "the recovery path: >10x GEMINI's wasted time for the lossless designs,\n"
+               "and even 4x lossy compression only narrows the gap to ~4x.\n";
+  return gemini_wins ? 0 : 1;
+}

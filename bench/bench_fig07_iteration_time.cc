@@ -1,0 +1,35 @@
+// Figure 7: iteration time of the three 100B models on 16x p4d.24xlarge,
+// without checkpointing vs with GEMINI checkpointing every iteration. The
+// claim: GEMINI does not affect training iteration times.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader("Figure 7: iteration time, no-checkpoint vs GEMINI (16x p4d.24xlarge)",
+                     "paper Figure 7");
+
+  TablePrinter table({"Model", "No checkpoint (s)", "GEMINI (s)", "Overhead"});
+  bool all_zero_overhead = true;
+  for (const ModelConfig& model : {Gpt2_100B(), Roberta_100B(), Bert_100B()}) {
+    const TimelineParams timeline = bench::P4dTimeline(model);
+    ExecutorParams params = bench::GeminiExecutor(timeline);
+    const ExecutionResult result = ExecuteIterationWithCheckpoint(params);
+    if (!result.status.ok()) {
+      std::cerr << "executor failed for " << model.name << ": " << result.status << "\n";
+      return 1;
+    }
+    table.AddRow({model.name, TablePrinter::Fmt(ToSeconds(result.baseline_iteration_time)),
+                  TablePrinter::Fmt(ToSeconds(result.iteration_time)),
+                  TablePrinter::Fmt(result.overhead_fraction * 100.0) + " %"});
+    all_zero_overhead &= result.overhead_fraction < 0.005;
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: " << (all_zero_overhead ? "PASS" : "FAIL")
+            << " — GEMINI checkpoints every iteration with no measurable impact on\n"
+               "iteration time (paper: 'GEMINI does not affect the training iteration\n"
+               "times'; measured 62 s for GPT-2 100B).\n";
+  return all_zero_overhead ? 0 : 1;
+}

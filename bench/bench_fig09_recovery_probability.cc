@@ -1,0 +1,56 @@
+// Figure 9: probability that GEMINI recovers k simultaneous failures from
+// checkpoints in CPU memory, vs cluster size N, compared with the ring
+// placement. Claims: k < m always recovers; probability rises with N;
+// GEMINI(m=2): 93.3% at N=16,k=2 and 80.0% at k=3; Ring sits 25% lower.
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/placement/placement.h"
+#include "src/placement/probability.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader("Figure 9: P(recover from CPU memory) vs number of instances",
+                     "paper Figure 9 and Corollary 1");
+
+  TablePrinter table({"N", "GEMINI m=2,k=2", "GEMINI m=2,k=3", "Ring m=2,k=2", "Ring m=2,k=3",
+                      "exact GEMINI k=2", "exact Ring k=2"});
+  for (const int n : {8, 16, 24, 32, 48, 64, 96, 128}) {
+    const auto group = BuildMixedPlacement(n, 2);
+    const auto ring = BuildRingPlacement(n, 2);
+    const double exact_group = ExactRecoveryProbability(*group, 2).value_or(-1);
+    const double exact_ring = ExactRecoveryProbability(*ring, 2).value_or(-1);
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(n)),
+                  TablePrinter::Fmt(Corollary1LowerBound(n, 2, 2), 4),
+                  TablePrinter::Fmt(Corollary1LowerBound(n, 2, 3), 4),
+                  TablePrinter::Fmt(RingAnalyticLowerBound(n, 2, 2), 4),
+                  TablePrinter::Fmt(RingAnalyticLowerBound(n, 2, 3), 4),
+                  TablePrinter::Fmt(exact_group, 4), TablePrinter::Fmt(exact_ring, 4)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nReplica-count ablation (N = 16, exact enumeration):\n";
+  TablePrinter ablation({"m", "k=1", "k=2", "k=3", "k=4", "ckpt traffic (x C)"});
+  for (const int m : {1, 2, 4}) {
+    std::vector<std::string> row = {TablePrinter::Fmt(static_cast<int64_t>(m))};
+    const auto plan = BuildMixedPlacement(16, m);
+    for (const int k : {1, 2, 3, 4}) {
+      row.push_back(TablePrinter::Fmt(ExactRecoveryProbability(*plan, k).value_or(-1), 4));
+    }
+    row.push_back(TablePrinter::Fmt(static_cast<int64_t>(m - 1)));
+    ablation.AddRow(row);
+  }
+  ablation.Print(std::cout);
+
+  const double p16k2 = Corollary1LowerBound(16, 2, 2);
+  const double p16k3 = Corollary1LowerBound(16, 2, 3);
+  const double ring_gap = 1.0 - RingAnalyticLowerBound(16, 2, 3) / p16k3;
+  const bool pass = std::abs(p16k2 - 0.9333) < 0.001 && std::abs(p16k3 - 0.80) < 0.001 &&
+                    std::abs(ring_gap - 0.25) < 0.001;
+  std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL")
+            << " — GEMINI(m=2) recovers 93.3% of double failures and 80.0% of triple\n"
+               "failures at N=16; Ring is 25% lower at k=3; probability rises with N.\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Figure 16: effectiveness of the traffic interleaving algorithm — GPT-2 40B
+// on 16x p3dn.24xlarge under the five schemes. Claims: Blocking +10.1%,
+// Naive interleave OOMs (needs >2 GB/GPU), Interleave-without-pipeline is
+// worse than GEMINI (paper: +3.5%), GEMINI matches the baseline exactly.
+// Also runs the sub-buffer-count ablation called out in DESIGN.md.
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 16: interleaving schemes (GPT-2 40B, 16x p3dn.24xlarge)",
+      "paper Figure 16 / Section 7.4");
+
+  const TimelineParams timeline = bench::P3dnTimeline(Gpt2_40B());
+
+  TablePrinter table({"Scheme", "Iteration (s)", "Overhead", "Buffer/GPU", "Notes"});
+  double blocking_overhead = 0.0;
+  double no_pipeline_overhead = 0.0;
+  double gemini_overhead = 1.0;
+  bool naive_oom = false;
+  for (const InterleaveScheme scheme :
+       {InterleaveScheme::kNone, InterleaveScheme::kBlocking, InterleaveScheme::kNaiveInterleave,
+        InterleaveScheme::kInterleaveNoPipeline, InterleaveScheme::kPipelined}) {
+    ExecutorParams params = bench::GeminiExecutor(timeline);
+    params.scheme = scheme;
+    const ExecutionResult result = ExecuteIterationWithCheckpoint(params);
+    std::string note;
+    std::string iteration = "-";
+    std::string overhead = "-";
+    if (result.status.ok()) {
+      iteration = TablePrinter::Fmt(ToSeconds(result.iteration_time));
+      overhead = TablePrinter::Fmt(result.overhead_fraction * 100.0) + " %";
+    } else {
+      note = result.status.code() == StatusCode::kResourceExhausted ? "GPU OOM"
+                                                                    : result.status.ToString();
+    }
+    table.AddRow({std::string(InterleaveSchemeName(scheme)), iteration, overhead,
+                  FormatBytes(result.required_buffer_per_gpu), note});
+    switch (scheme) {
+      case InterleaveScheme::kBlocking:
+        blocking_overhead = result.overhead_fraction;
+        break;
+      case InterleaveScheme::kNaiveInterleave:
+        naive_oom = result.status.code() == StatusCode::kResourceExhausted;
+        break;
+      case InterleaveScheme::kInterleaveNoPipeline:
+        no_pipeline_overhead = result.overhead_fraction;
+        break;
+      case InterleaveScheme::kPipelined:
+        gemini_overhead = result.overhead_fraction;
+        break;
+      case InterleaveScheme::kNone:
+        break;
+    }
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nAblation: sub-buffer count p (total reserved buffer fixed at 128 MiB/GPU):\n";
+  TablePrinter ablation({"p", "Iteration (s)", "Overhead", "Ckpt done (s)"});
+  for (const int p : {1, 2, 4, 8, 16}) {
+    ExecutorParams params = bench::GeminiExecutor(timeline);
+    params.num_buffers = p;
+    const ExecutionResult result = ExecuteIterationWithCheckpoint(params);
+    ablation.AddRow({TablePrinter::Fmt(static_cast<int64_t>(p)),
+                     TablePrinter::Fmt(ToSeconds(result.iteration_time)),
+                     TablePrinter::Fmt(result.overhead_fraction * 100.0) + " %",
+                     TablePrinter::Fmt(ToSeconds(result.checkpoint_done))});
+  }
+  ablation.Print(std::cout);
+
+  const bool pass = blocking_overhead > 0.06 && blocking_overhead < 0.16 && naive_oom &&
+                    no_pipeline_overhead > 0.0 && no_pipeline_overhead < blocking_overhead &&
+                    gemini_overhead < 0.005;
+  std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL")
+            << " — ordering matches the paper: GEMINI == Baseline < Interleave-w/o-\n"
+               "pipeline < Blocking (~+10%), and Naive interleave OOMs. (Our no-\n"
+               "pipeline penalty is smaller than the paper's 3.5% because the\n"
+               "simulated idle headroom is slightly larger than the testbed's;\n"
+               "see EXPERIMENTS.md.)\n";
+  return pass ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+// Micro-benchmarks (google-benchmark) of the core algorithms: Algorithm 1
+// placement construction, recovery-probability evaluation, Algorithm 2
+// partitioning, the timeline generator, checkpoint serialization, the event
+// queue, and the ring collectives' cost evaluation.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/placement/placement.h"
+#include "src/placement/probability.h"
+#include "src/schedule/executor.h"
+#include "src/schedule/partition.h"
+#include "src/sim/simulator.h"
+#include "src/storage/serializer.h"
+#include "src/training/model_config.h"
+#include "src/training/timeline.h"
+
+namespace gemini {
+namespace {
+
+void BM_BuildMixedPlacement(benchmark::State& state) {
+  const int machines = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto plan = BuildMixedPlacement(machines, 2);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_BuildMixedPlacement)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_Corollary1(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Corollary1LowerBound(static_cast<int>(state.range(0)), 2, 3));
+  }
+}
+BENCHMARK(BM_Corollary1)->Arg(16)->Arg(1024);
+
+void BM_ExactRecoveryProbability(benchmark::State& state) {
+  const auto plan = BuildMixedPlacement(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExactRecoveryProbability(*plan, 3));
+  }
+}
+BENCHMARK(BM_ExactRecoveryProbability)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_MonteCarloRecoveryProbability(benchmark::State& state) {
+  const auto plan = BuildMixedPlacement(256, 2);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MonteCarloRecoveryProbability(*plan, 3, 1000, rng));
+  }
+}
+BENCHMARK(BM_MonteCarloRecoveryProbability);
+
+void BM_BuildZero3Timeline(benchmark::State& state) {
+  TimelineParams params;
+  params.model = Gpt2_100B();
+  params.instance = P4d24xlarge();
+  params.num_machines = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildZero3Timeline(params));
+  }
+}
+BENCHMARK(BM_BuildZero3Timeline);
+
+void BM_PartitionCheckpoint(benchmark::State& state) {
+  TimelineParams timeline_params;
+  timeline_params.model = Gpt2_100B();
+  timeline_params.instance = P4d24xlarge();
+  timeline_params.num_machines = 16;
+  const IterationTimeline timeline = BuildZero3Timeline(timeline_params);
+  PartitionParams params;
+  params.idle_spans = timeline.idle_spans;
+  params.checkpoint_bytes = Gpt2_100B().CheckpointBytesPerMachine(16);
+  params.num_remote_replicas = 1;
+  params.reserved_buffer = MiB(128) * 8;
+  params.num_buffers = static_cast<int>(state.range(0));
+  params.bandwidth = P4d24xlarge().network_bandwidth;
+  params.alpha = Micros(100);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionCheckpoint(params));
+  }
+}
+BENCHMARK(BM_PartitionCheckpoint)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_ExecuteIteration(benchmark::State& state) {
+  ExecutorParams params;
+  params.timeline.model = Gpt2_100B();
+  params.timeline.instance = P4d24xlarge();
+  params.timeline.num_machines = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ExecuteIterationWithCheckpoint(params));
+  }
+}
+BENCHMARK(BM_ExecuteIteration);
+
+void BM_SerializeCheckpoint(benchmark::State& state) {
+  Checkpoint checkpoint;
+  checkpoint.owner_rank = 0;
+  checkpoint.iteration = 1;
+  checkpoint.logical_bytes = GiB(75);
+  checkpoint.payload.resize(static_cast<size_t>(state.range(0)), 1.5f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SerializeCheckpoint(checkpoint));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(checkpoint.payload.size() * sizeof(float)));
+}
+BENCHMARK(BM_SerializeCheckpoint)->Arg(1024)->Arg(262144);
+
+void BM_DeserializeCheckpoint(benchmark::State& state) {
+  Checkpoint checkpoint;
+  checkpoint.owner_rank = 0;
+  checkpoint.iteration = 1;
+  checkpoint.logical_bytes = GiB(75);
+  checkpoint.payload.resize(262144, 1.5f);
+  const std::vector<uint8_t> blob = SerializeCheckpoint(checkpoint);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DeserializeCheckpoint(blob));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(blob.size()));
+}
+BENCHMARK(BM_DeserializeCheckpoint);
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const int events = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < events; ++i) {
+      sim.ScheduleAt(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.Run());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * events);
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace gemini
+
+BENCHMARK_MAIN();

@@ -1,0 +1,29 @@
+// Table 2: language-model configurations, plus the checkpoint sizing derived
+// from them (9.4 GB/GPU for GPT-2 100B on 128 GPUs, Section 5.2).
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+using namespace gemini;
+
+int main() {
+  bench::PrintHeader("Table 2: model configurations", "paper Table 2");
+
+  TablePrinter table({"Model", "Hidden", "Intermediate", "#Layers", "#AH", "Ckpt total",
+                      "Ckpt/GPU (128)", "Formula params"});
+  for (const ModelConfig& model : Table2Models()) {
+    table.AddRow({model.name, TablePrinter::Fmt(static_cast<int64_t>(model.hidden_size)),
+                  TablePrinter::Fmt(static_cast<int64_t>(model.intermediate_size)),
+                  TablePrinter::Fmt(static_cast<int64_t>(model.num_layers)),
+                  TablePrinter::Fmt(static_cast<int64_t>(model.attention_heads)),
+                  FormatBytes(model.CheckpointBytesTotal()),
+                  TablePrinter::Fmt(static_cast<double>(model.CheckpointBytesPerGpu(128)) / 1e9,
+                                    2) +
+                      " GB",
+                  TablePrinter::Fmt(static_cast<double>(model.FormulaParams()) / 1e9, 1) + "B"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: GPT-2 100B checkpoints 9.38 GB per GPU on 128 GPUs,\n"
+               "matching the paper's 9.4 GB figure (12 bytes/parameter, ZeRO-3 sharded).\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the figure/table reproduction benches.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "src/baselines/system_model.h"
+#include "src/cluster/instance_spec.h"
+#include "src/common/table_printer.h"
+#include "src/schedule/executor.h"
+#include "src/training/model_config.h"
+#include "src/training/timeline.h"
+
+namespace gemini {
+namespace bench {
+
+// The paper's primary setting: 16x p4d.24xlarge.
+inline constexpr int kPaperMachines = 16;
+
+inline TimelineParams P4dTimeline(const ModelConfig& model, int machines = kPaperMachines) {
+  TimelineParams params;
+  params.model = model;
+  params.instance = P4d24xlarge();
+  params.num_machines = machines;
+  return params;
+}
+
+inline TimelineParams P3dnTimeline(const ModelConfig& model, int machines = kPaperMachines) {
+  TimelineParams params;
+  params.model = model;
+  params.instance = P3dn24xlarge();
+  params.num_machines = machines;
+  return params;
+}
+
+inline ExecutorParams GeminiExecutor(const TimelineParams& timeline, int replicas = 2) {
+  ExecutorParams params;
+  params.timeline = timeline;
+  params.scheme = InterleaveScheme::kPipelined;
+  params.num_replicas = replicas;
+  return params;
+}
+
+// Workload for the analytic system models, derived from the executor run.
+inline CheckpointWorkload MakeWorkload(const TimelineParams& timeline,
+                                       const ExecutionResult& execution, int replicas = 2) {
+  CheckpointWorkload workload;
+  workload.iteration_time = execution.baseline_iteration_time;
+  workload.checkpoint_bytes_per_machine =
+      timeline.model.CheckpointBytesPerMachine(timeline.num_machines);
+  workload.num_machines = timeline.num_machines;
+  workload.num_replicas = replicas;
+  workload.nic_bandwidth = timeline.instance.network_bandwidth;
+  workload.comm_alpha = timeline.comm_alpha;
+  return workload;
+}
+
+inline void PrintHeader(const std::string& title, const std::string& paper_reference) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s)\n", paper_reference.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace gemini
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,93 @@
+// Failure storm: trains GPT-2 100B on 16 machines while random failures
+// arrive at an OPT-like Poisson rate (scaled up so several land within the
+// run), with standby machines absorbing the hardware replacements. Compares
+// the measured effective training ratio against the analytic Figure 15
+// model.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target failure_storm
+//   ./build/examples/failure_storm
+#include <cstdio>
+#include <map>
+
+#include "src/baselines/system_model.h"
+#include "src/common/logging.h"
+#include "src/gemini/gemini_system.h"
+
+using namespace gemini;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  GeminiConfig config;
+  config.model = Gpt2_100B();
+  config.instance = P4d24xlarge();
+  config.num_machines = 16;
+  config.num_replicas = 2;
+  config.cloud.num_standby = 2;
+  config.kv_server_count = 5;  // Tolerate two coordinator-machine losses.
+  config.seed = 7;
+
+  GeminiSystem system(config);
+  if (const Status status = system.Initialize(); !status.ok()) {
+    std::fprintf(stderr, "initialize failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // A brutal failure rate: ~1 failure per machine per day (64x OPT's rate),
+  // 70% software, for the duration of the run.
+  const TimeNs horizon = Hours(6);
+  system.failure_injector().StartRandomArrivals(/*rate_per_machine_day=*/1.0,
+                                                /*software_fraction=*/0.7, horizon);
+
+  const StatusOr<TrainingReport> report =
+      system.TrainUntil(/*target_iterations=*/250, /*sim_deadline=*/horizon);
+  if (!report.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", report.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\n== failure storm report ==\n");
+  std::printf("simulated time:       %s\n", FormatDuration(report->wall_time).c_str());
+  std::printf("iterations completed: %lld\n",
+              static_cast<long long>(report->iterations_completed));
+  std::printf("failures recovered:   %zu\n", report->recoveries.size());
+
+  std::map<RecoverySource, int> by_source;
+  TimeNs total_wasted = 0;
+  TimeNs total_downtime = 0;
+  for (const RecoveryRecord& recovery : report->recoveries) {
+    ++by_source[recovery.source];
+    total_wasted += recovery.wasted_time;
+    total_downtime += recovery.downtime;
+  }
+  for (const auto& [source, count] : by_source) {
+    std::printf("  %-22s %d\n", std::string(RecoverySourceName(source)).c_str(), count);
+  }
+  if (!report->recoveries.empty()) {
+    std::printf("mean wasted time:     %s\n",
+                FormatDuration(total_wasted /
+                               static_cast<TimeNs>(report->recoveries.size())).c_str());
+    std::printf("mean downtime:        %s\n",
+                FormatDuration(total_downtime /
+                               static_cast<TimeNs>(report->recoveries.size())).c_str());
+  }
+  std::printf("effective ratio:      %.3f (measured)\n", report->effective_training_ratio());
+
+  // Analytic comparison (Figure 15 model at the same failures/day).
+  CheckpointWorkload workload;
+  workload.iteration_time = report->iteration_time;
+  workload.checkpoint_bytes_per_machine = config.model.CheckpointBytesPerMachine(16);
+  workload.num_machines = 16;
+  const double failures_per_day =
+      static_cast<double>(report->recoveries.size()) /
+      (static_cast<double>(report->wall_time) / static_cast<double>(Hours(24)));
+  std::printf("effective ratio:      %.3f (Figure 15 analytic model at %.1f failures/day)\n",
+              BuildGemini(workload, 0, 0, /*standby=*/true)
+                  .EffectiveTrainingRatio(failures_per_day),
+              failures_per_day);
+  std::printf("\nEven under a failure every ~90 minutes, GEMINI keeps making forward\n"
+              "progress because every failure costs ~1.5 iterations plus fixed restart\n"
+              "overheads instead of hours of lost work.\n");
+  return 0;
+}

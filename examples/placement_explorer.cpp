@@ -1,0 +1,96 @@
+// Placement explorer: interactive tour of Algorithm 1. For a given cluster
+// size N and replica count m (defaults: 16 and 2; override via argv), prints
+// the mixed placement's groups, each machine's replica set, and the recovery
+// probabilities under simultaneous failures — exact, Corollary 1, ring
+// comparison, and a Monte Carlo cross-check.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build --target placement_explorer
+//   ./build/examples/placement_explorer [N] [m]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/rng.h"
+#include "src/common/table_printer.h"
+#include "src/placement/placement.h"
+#include "src/placement/probability.h"
+
+using namespace gemini;
+
+namespace {
+
+std::string JoinInts(const std::vector<int>& values) {
+  std::string out = "{";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    out += std::to_string(values[i]);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int num_machines = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int num_replicas = argc > 2 ? std::atoi(argv[2]) : 2;
+
+  const auto plan = BuildMixedPlacement(num_machines, num_replicas);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "invalid parameters: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Algorithm 1 mixed placement: N=%d machines, m=%d replicas ==\n",
+              num_machines, num_replicas);
+  std::printf("strategy: %s (%s)\n\n",
+              std::string(PlacementStrategyName(plan->strategy)).c_str(),
+              num_machines % num_replicas == 0
+                  ? "divisible: pure group placement, provably optimal"
+                  : "remainder handled by a trailing ring, near-optimal");
+
+  std::printf("groups:\n");
+  for (size_t g = 0; g < plan->groups.size(); ++g) {
+    std::printf("  group %zu: %s%s\n", g, JoinInts(plan->groups[g]).c_str(),
+                plan->groups[g].size() > static_cast<size_t>(num_replicas) ? "  (ring section)"
+                                                                           : "");
+  }
+
+  if (num_machines <= 12) {
+    std::printf("\nreplica sets (machine -> holders, local first):\n");
+    for (int machine = 0; machine < num_machines; ++machine) {
+      std::printf("  %2d -> %s\n", machine,
+                  JoinInts(plan->replica_sets[static_cast<size_t>(machine)]).c_str());
+    }
+  }
+
+  std::printf("\nrecovery probability with k simultaneous machine failures:\n");
+  TablePrinter table({"k", "exact (mixed)", "Corollary 1", "ring (exact)", "ring (analytic)",
+                      "Monte Carlo"});
+  Rng rng(12345);
+  const auto ring = BuildRingPlacement(num_machines, num_replicas);
+  for (int k = 1; k <= std::min(num_machines, num_replicas + 3); ++k) {
+    const auto exact = ExactRecoveryProbability(*plan, k);
+    const auto ring_exact = ExactRecoveryProbability(*ring, k);
+    table.AddRow({TablePrinter::Fmt(static_cast<int64_t>(k)),
+                  exact.ok() ? TablePrinter::Fmt(*exact, 4) : "(too large)",
+                  TablePrinter::Fmt(Corollary1LowerBound(num_machines, num_replicas, k), 4),
+                  ring_exact.ok() ? TablePrinter::Fmt(*ring_exact, 4) : "(too large)",
+                  TablePrinter::Fmt(RingAnalyticLowerBound(num_machines, num_replicas, k), 4),
+                  TablePrinter::Fmt(
+                      MonteCarloRecoveryProbability(*plan, k, 20000, rng), 4)});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  if (num_machines % num_replicas != 0 && num_replicas >= 2) {
+    std::printf("\nTheorem 1 optimality-gap bound for this (N, m): %.6f\n",
+                MixedStrategyGapBound(num_machines, num_replicas));
+  }
+  std::printf("\nReading the table: k < m always recovers (every checkpoint has a\n"
+              "surviving replica); at k = m the group sections lose a checkpoint only\n"
+              "when an entire group fails together, which is why grouping beats the\n"
+              "ring that loses data on any m consecutive failures.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Cloud operator: machine replacement (the EC2 Auto Scaling Group stand-in).
+//
+// When the root agent reports a hardware failure, the operator provisions a
+// healthy machine for the failed rank. Provisioning from the cloud pool
+// takes a non-deterministic 4-7 minutes (the paper's measured ASG latency);
+// a pre-allocated standby machine activates in seconds instead, and the
+// operator replenishes the standby pool in the background (Section 6.2
+// "Standby machines").
+#ifndef SRC_AGENT_CLOUD_OPERATOR_H_
+#define SRC_AGENT_CLOUD_OPERATOR_H_
+
+#include <functional>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace gemini {
+
+struct CloudOperatorConfig {
+  TimeNs provision_delay_min = Minutes(4);
+  TimeNs provision_delay_max = Minutes(7);
+  int num_standby = 0;
+  TimeNs standby_activation_delay = Seconds(10);
+};
+
+class CloudOperator {
+ public:
+  CloudOperator(Simulator& sim, Cluster& cluster, CloudOperatorConfig config, uint64_t seed);
+
+  // Installs a fresh machine at `rank` (next incarnation) and invokes `done`
+  // once it is ready. Uses a standby machine when available.
+  void ReplaceMachine(int rank, std::function<void(Machine&)> done);
+
+  int standby_available() const { return standby_available_; }
+  int total_replacements() const { return total_replacements_; }
+
+  // Expected replacement latency for analysis/benches.
+  TimeNs MeanProvisionDelay() const {
+    return (config_.provision_delay_min + config_.provision_delay_max) / 2;
+  }
+
+ private:
+  Simulator& sim_;
+  Cluster& cluster_;
+  CloudOperatorConfig config_;
+  Rng rng_;
+  int standby_available_;
+  int total_replacements_ = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_AGENT_CLOUD_OPERATOR_H_

@@ -1,0 +1,78 @@
+#include "src/agent/failure_injector.h"
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+std::string_view FailureTypeName(FailureType type) {
+  switch (type) {
+    case FailureType::kSoftware:
+      return "software";
+    case FailureType::kHardware:
+      return "hardware";
+  }
+  return "unknown";
+}
+
+FailureInjector::FailureInjector(Simulator& sim, Cluster& cluster, uint64_t seed)
+    : sim_(sim), cluster_(cluster), rng_(seed) {}
+
+void FailureInjector::InjectAt(TimeNs when, FailureType type, std::vector<int> ranks) {
+  FailureEvent event;
+  event.time = when;
+  event.type = type;
+  event.ranks = std::move(ranks);
+  sim_.ScheduleAt(when, [this, event = std::move(event)] { Apply(event); });
+}
+
+void FailureInjector::Apply(const FailureEvent& event) {
+  for (const int rank : event.ranks) {
+    Machine& machine = cluster_.machine(rank);
+    if (!machine.alive()) {
+      continue;  // Already dead; nothing more to break.
+    }
+    machine.set_health(event.type == FailureType::kSoftware ? MachineHealth::kProcessDown
+                                                            : MachineHealth::kDead);
+    GEMINI_LOG(kInfo) << "failure injector: " << FailureTypeName(event.type) << " failure on "
+                      << machine.DebugName() << " at " << FormatDuration(sim_.now());
+  }
+  ++injected_;
+  if (observer_) {
+    observer_(event);
+  }
+}
+
+void FailureInjector::StartRandomArrivals(double rate_per_machine_day, double software_fraction,
+                                          TimeNs until) {
+  ScheduleNextRandom(rate_per_machine_day, software_fraction, until);
+}
+
+void FailureInjector::ScheduleNextRandom(double rate_per_machine_day, double software_fraction,
+                                         TimeNs until) {
+  const double cluster_rate_per_day = rate_per_machine_day * cluster_.size();
+  if (cluster_rate_per_day <= 0) {
+    return;
+  }
+  const double days_to_next = rng_.Exponential(cluster_rate_per_day);
+  const TimeNs delay = static_cast<TimeNs>(days_to_next * 24.0 * static_cast<double>(kHour));
+  const TimeNs when = sim_.now() + delay;
+  if (when > until) {
+    return;
+  }
+  sim_.ScheduleAt(when, [this, rate_per_machine_day, software_fraction, until] {
+    const std::vector<int> alive = cluster_.AliveRanks();
+    if (!alive.empty()) {
+      const int victim =
+          alive[static_cast<size_t>(rng_.NextU64Below(static_cast<uint64_t>(alive.size())))];
+      FailureEvent event;
+      event.time = sim_.now();
+      event.type = rng_.Bernoulli(software_fraction) ? FailureType::kSoftware
+                                                     : FailureType::kHardware;
+      event.ranks = {victim};
+      Apply(event);
+    }
+    ScheduleNextRandom(rate_per_machine_day, software_fraction, until);
+  });
+}
+
+}  // namespace gemini

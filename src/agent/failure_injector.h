@@ -1,0 +1,68 @@
+// Failure injection.
+//
+// Reproduces the failure processes the paper's evaluation is driven by:
+// scripted failures (inject type X at time T on ranks R) for the recovery
+// experiments, and Poisson arrivals for the scalability study (OPT-175B
+// observed ~1.5% of instances failing per day; the majority are software
+// failures or single-machine hardware failures).
+#ifndef SRC_AGENT_FAILURE_INJECTOR_H_
+#define SRC_AGENT_FAILURE_INJECTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace gemini {
+
+enum class FailureType {
+  // Training process crash; hardware (and CPU memory contents) survive.
+  kSoftware,
+  // Machine loss: unreachable, DRAM contents gone, must be replaced.
+  kHardware,
+};
+
+std::string_view FailureTypeName(FailureType type);
+
+struct FailureEvent {
+  TimeNs time = 0;
+  FailureType type = FailureType::kSoftware;
+  std::vector<int> ranks;
+};
+
+class FailureInjector {
+ public:
+  // `on_injected` (optional) observes each injected event, after machine
+  // health has been flipped — detection still goes through the agents.
+  FailureInjector(Simulator& sim, Cluster& cluster, uint64_t seed);
+
+  void set_observer(std::function<void(const FailureEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  // Schedules one failure at an absolute time.
+  void InjectAt(TimeNs when, FailureType type, std::vector<int> ranks);
+
+  // Starts Poisson failure arrival: `rate_per_machine_day` failures per
+  // machine per day, each software with probability `software_fraction`,
+  // each hitting one uniformly random alive machine. Runs until `until`.
+  void StartRandomArrivals(double rate_per_machine_day, double software_fraction, TimeNs until);
+
+  int64_t injected_count() const { return injected_; }
+
+ private:
+  void Apply(const FailureEvent& event);
+  void ScheduleNextRandom(double rate_per_machine_day, double software_fraction, TimeNs until);
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  Rng rng_;
+  std::function<void(const FailureEvent&)> observer_;
+  int64_t injected_ = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_AGENT_FAILURE_INJECTOR_H_

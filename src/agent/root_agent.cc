@@ -1,0 +1,102 @@
+#include "src/agent/root_agent.h"
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+RootAgent::RootAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, int rank,
+                     AgentConfig config, std::function<void(const FailureReport&)> on_failure)
+    : sim_(sim),
+      cluster_(cluster),
+      kv_(kv),
+      rank_(rank),
+      config_(config),
+      on_failure_(std::move(on_failure)) {
+  scan_timer_ =
+      std::make_unique<RepeatingTimer>(sim_, config_.root_scan_interval, [this] { OnScanTick(); });
+}
+
+RootAgent::~RootAgent() = default;
+
+void RootAgent::Start() {
+  started_at_ = sim_.now();
+  scan_timer_->Start();
+}
+
+void RootAgent::Stop() { scan_timer_->Stop(); }
+
+void RootAgent::SetPaused(bool paused) {
+  paused_ = paused;
+  if (!paused) {
+    grace_until_ = sim_.now() + config_.root_scan_interval;
+  }
+}
+
+void RootAgent::ClearHandled(const std::vector<int>& ranks) {
+  for (const int rank : ranks) {
+    handled_.erase(rank);
+  }
+}
+
+void RootAgent::ClaimLeadership(LeaseId lease) {
+  kv_.PutIfAbsent(kRootKey, std::to_string(rank_), lease, [](Status) {});
+}
+
+void RootAgent::OnScanTick() {
+  // A dead root machine stops scanning; workers will notice the root key
+  // expire and promote a replacement.
+  if (!cluster_.machine(rank_).alive() || paused_ || sim_.now() < grace_until_) {
+    return;
+  }
+  // Health keys only become authoritative once the initial publish plus one
+  // full lease period has passed.
+  if (sim_.now() < started_at_ + config_.health_lease_ttl + config_.root_scan_interval) {
+    return;
+  }
+
+  const std::map<std::string, KvEntry> health = kv_.List(kHealthKeyPrefix);
+  std::vector<int> hardware_failed;
+  std::vector<int> software_failed;
+  for (int rank = 0; rank < cluster_.size(); ++rank) {
+    if (handled_.contains(rank)) {
+      continue;
+    }
+    const auto it = health.find(kHealthKeyPrefix + std::to_string(rank));
+    if (it == health.end()) {
+      // Lease expired: the machine stopped heartbeating => hardware failure.
+      hardware_failed.push_back(rank);
+    } else if (it->second.value == kStatusProcessDown) {
+      software_failed.push_back(rank);
+    }
+  }
+
+  // Hardware failures subsume concurrent software failures: replacement and
+  // group-based retrieval handle both (Section 6.2 case analysis).
+  if (!hardware_failed.empty()) {
+    for (const int rank : hardware_failed) {
+      handled_.insert(rank);
+    }
+    FailureReport report;
+    report.type = FailureType::kHardware;
+    report.ranks = hardware_failed;
+    report.detected_at = sim_.now();
+    GEMINI_LOG(kInfo) << "root agent: detected hardware failure on " << hardware_failed.size()
+                      << " machine(s) at " << FormatDuration(sim_.now());
+    on_failure_(report);
+    return;
+  }
+  if (!software_failed.empty()) {
+    for (const int rank : software_failed) {
+      handled_.insert(rank);
+    }
+    FailureReport report;
+    report.type = FailureType::kSoftware;
+    report.ranks = software_failed;
+    report.detected_at = sim_.now();
+    GEMINI_LOG(kInfo) << "root agent: detected software failure on " << software_failed.size()
+                      << " machine(s) at " << FormatDuration(sim_.now());
+    on_failure_(report);
+  }
+}
+
+}  // namespace gemini

@@ -1,0 +1,80 @@
+// GEMINI root agent (paper Section 3.2 and 6).
+//
+// Runs on one training machine (the root machine) alongside its worker
+// agent. Periodically scans the health keys in the distributed KV store,
+// classifies failures (missing key after its lease expired => hardware;
+// value "process_down" => software), and reports them to the recovery
+// coordinator (the GeminiSystem), which interacts with the cloud operator
+// and directs checkpoint retrieval. The root holds the root-leadership key
+// under its own lease so workers can detect root death and promote one of
+// themselves.
+#ifndef SRC_AGENT_ROOT_AGENT_H_
+#define SRC_AGENT_ROOT_AGENT_H_
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/agent/failure_injector.h"
+#include "src/agent/worker_agent.h"
+#include "src/cluster/cluster.h"
+#include "src/kvstore/kv_store.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace gemini {
+
+struct FailureReport {
+  FailureType type = FailureType::kSoftware;
+  std::vector<int> ranks;
+  TimeNs detected_at = 0;
+};
+
+class RootAgent {
+ public:
+  // `on_failure` receives each detected failure exactly once per affected
+  // rank set; re-detection of already-reported ranks is suppressed until
+  // ClearHandled() re-arms them (after recovery completes).
+  RootAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, int rank, AgentConfig config,
+            std::function<void(const FailureReport&)> on_failure);
+  ~RootAgent();
+
+  void Start();
+  void Stop();
+
+  int rank() const { return rank_; }
+  bool running() const { return scan_timer_ != nullptr && scan_timer_->running(); }
+
+  // Re-arms detection for `ranks` after their recovery completed.
+  void ClearHandled(const std::vector<int>& ranks);
+
+  // Pauses failure classification (used during recovery so half-restored
+  // state is not re-reported). Unpausing starts a one-scan-period grace
+  // window so freshly-published healthy statuses have time to commit.
+  void SetPaused(bool paused);
+
+  // Claims the root-leadership key (called at startup and after promotion).
+  void ClaimLeadership(LeaseId lease);
+
+ private:
+  void OnScanTick();
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  KvStoreCluster& kv_;
+  int rank_;
+  AgentConfig config_;
+  std::function<void(const FailureReport&)> on_failure_;
+  std::unique_ptr<RepeatingTimer> scan_timer_;
+  std::set<int> handled_;
+  bool paused_ = false;
+  TimeNs grace_until_ = 0;
+  // Ranks are only reported missing after the store had a chance to expire
+  // their lease (avoids false positives at startup).
+  TimeNs started_at_ = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_AGENT_ROOT_AGENT_H_

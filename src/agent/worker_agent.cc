@@ -1,0 +1,114 @@
+#include "src/agent/worker_agent.h"
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+WorkerAgent::WorkerAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, int rank,
+                         AgentConfig config)
+    : sim_(sim), cluster_(cluster), kv_(kv), rank_(rank), config_(config) {
+  keepalive_timer_ = std::make_unique<RepeatingTimer>(sim_, config_.keepalive_interval,
+                                                      [this] { OnKeepAliveTick(); });
+  root_watch_timer_ = std::make_unique<RepeatingTimer>(sim_, config_.root_scan_interval,
+                                                       [this] { OnRootWatchTick(); });
+}
+
+WorkerAgent::~WorkerAgent() = default;
+
+void WorkerAgent::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  last_status_ = kStatusHealthy;
+  AcquireLeaseAndPublish();
+  keepalive_timer_->Start();
+  root_watch_timer_->Start();
+}
+
+void WorkerAgent::Stop() {
+  started_ = false;
+  lease_ = kNoLease;
+  keepalive_timer_->Stop();
+  root_watch_timer_->Stop();
+}
+
+void WorkerAgent::AcquireLeaseAndPublish() {
+  if (!machine_ok()) {
+    return;
+  }
+  kv_.LeaseGrant(config_.health_lease_ttl, [this](StatusOr<LeaseId> lease) {
+    if (!started_ || !machine_ok()) {
+      return;
+    }
+    if (!lease.ok()) {
+      // No KV leader yet (e.g. right after startup); retry on the next tick.
+      return;
+    }
+    lease_ = *lease;
+    PublishStatus(last_status_);
+  });
+}
+
+void WorkerAgent::PublishStatus(const std::string& status) {
+  if (!machine_ok() || lease_ == kNoLease) {
+    return;
+  }
+  last_status_ = status;
+  kv_.Put(health_key(), status, lease_, [this, status](Status put_status) {
+    if (!put_status.ok()) {
+      GEMINI_LOG(kDebug) << "worker " << rank_ << ": health publish failed: " << put_status;
+    }
+  });
+}
+
+void WorkerAgent::ReportProcessDown() { PublishStatus(kStatusProcessDown); }
+
+void WorkerAgent::ReportHealthy() { PublishStatus(kStatusHealthy); }
+
+void WorkerAgent::OnKeepAliveTick() {
+  // A dead machine stops keeping its lease alive; the health key expires and
+  // the root agent notices the rank vanished.
+  if (!machine_ok()) {
+    return;
+  }
+  if (lease_ == kNoLease) {
+    AcquireLeaseAndPublish();
+    return;
+  }
+  kv_.LeaseKeepAlive(lease_, [this](Status status) {
+    if (!status.ok() && started_ && machine_ok()) {
+      // Lease may have expired during a KV leader change; reacquire.
+      lease_ = kNoLease;
+    }
+  });
+}
+
+void WorkerAgent::OnRootWatchTick() {
+  if (!machine_ok() || lease_ == kNoLease) {
+    return;
+  }
+  const StatusOr<KvEntry> root = kv_.Get(kRootKey);
+  if (root.ok()) {
+    return;  // Root alive.
+  }
+  if (root.status().code() != StatusCode::kNotFound) {
+    return;  // KV unavailable; try next tick.
+  }
+  // Root key expired: campaign. The key is attached to our health lease so a
+  // root that later dies is detected the same way.
+  kv_.PutIfAbsent(kRootKey, std::to_string(rank_), lease_, [this](Status status) {
+    if (!status.ok()) {
+      return;
+    }
+    const StatusOr<KvEntry> winner = kv_.Get(kRootKey);
+    if (winner.ok() && winner->value == std::to_string(rank_)) {
+      GEMINI_LOG(kInfo) << "worker " << rank_ << " promoted to root agent";
+      if (on_promoted_) {
+        on_promoted_();
+      }
+    }
+  });
+}
+
+}  // namespace gemini

@@ -1,0 +1,84 @@
+// GEMINI worker agent (paper Section 3.2).
+//
+// One per training machine. Publishes the machine's health status to the
+// distributed key-value store under a heartbeat lease: a hardware failure
+// silences the keepalive, the lease expires, and the key disappears — which
+// is exactly how the root agent detects dead machines. Software failures
+// (training process crash, agent alive) are reported explicitly in the key's
+// value. Worker agents also watch the root agent's leadership key; when it
+// expires they campaign to promote one of themselves to root.
+#ifndef SRC_AGENT_WORKER_AGENT_H_
+#define SRC_AGENT_WORKER_AGENT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/kvstore/kv_store.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace gemini {
+
+inline constexpr char kHealthKeyPrefix[] = "/gemini/health/";
+inline constexpr char kRootKey[] = "/gemini/root";
+
+inline constexpr char kStatusHealthy[] = "healthy";
+inline constexpr char kStatusProcessDown[] = "process_down";
+
+struct AgentConfig {
+  // Health-key lease TTL and keepalive cadence. With the root scan period,
+  // these give the ~15 s failure-detection latency of paper Figure 14.
+  TimeNs health_lease_ttl = Seconds(10);
+  TimeNs keepalive_interval = Seconds(3);
+  TimeNs root_scan_interval = Seconds(5);
+};
+
+class WorkerAgent {
+ public:
+  WorkerAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, int rank, AgentConfig config);
+  ~WorkerAgent();
+
+  void Start();
+  void Stop();
+
+  int rank() const { return rank_; }
+  bool started() const { return started_; }
+
+  // Called when the local training process crashes (software failure): the
+  // agent survives and flips the published status.
+  void ReportProcessDown();
+  // Called when the training process restarts after recovery.
+  void ReportHealthy();
+
+  // Invoked when this agent wins the root election (set by the system).
+  void set_on_promoted_to_root(std::function<void()> callback) {
+    on_promoted_ = std::move(callback);
+  }
+
+ private:
+  std::string health_key() const { return kHealthKeyPrefix + std::to_string(rank_); }
+  bool machine_ok() const { return cluster_.machine(rank_).alive(); }
+
+  void AcquireLeaseAndPublish();
+  void PublishStatus(const std::string& status);
+  void OnKeepAliveTick();
+  void OnRootWatchTick();
+
+  Simulator& sim_;
+  Cluster& cluster_;
+  KvStoreCluster& kv_;
+  int rank_;
+  AgentConfig config_;
+  bool started_ = false;
+  LeaseId lease_ = kNoLease;
+  std::string last_status_ = kStatusHealthy;
+  std::unique_ptr<RepeatingTimer> keepalive_timer_;
+  std::unique_ptr<RepeatingTimer> root_watch_timer_;
+  std::function<void()> on_promoted_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_AGENT_WORKER_AGENT_H_

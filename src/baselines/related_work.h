@@ -1,0 +1,55 @@
+// Related-work checkpointing systems (paper Section 8), modeled on the same
+// workload/cost vocabulary as the primary baselines so they can share the
+// Figure 10/12/15-style comparisons:
+//
+//  * DeepFreeze (Nicolae et al., CCGRID'20): asynchronous serialization +
+//    upload to remote persistent storage. No per-checkpoint training stall,
+//    but the frequency is still bottlenecked by the store's bandwidth, and
+//    recovery still reads terabytes through it.
+//  * CheckFreq (Mohan et al., FAST'21): fine-grained snapshots with a
+//    dynamically tuned frequency that caps checkpoint overhead at a small
+//    budget (3.5% in their paper). The snapshot itself is cheap (GPU-side
+//    copy), but persistence and recovery go through the same remote store.
+//  * Check-N-Run (Eisenman et al., NSDI'22): lossy compression shrinks the
+//    persisted bytes by ~4x, buying frequency at the cost of compression
+//    time and potential accuracy impact (which GEMINI avoids entirely).
+//
+// All three improve on Strawman/HighFreq along one axis while keeping the
+// remote store on the recovery path — which is why none approaches GEMINI's
+// wasted time.
+#ifndef SRC_BASELINES_RELATED_WORK_H_
+#define SRC_BASELINES_RELATED_WORK_H_
+
+#include "src/baselines/system_model.h"
+
+namespace gemini {
+
+struct DeepFreezeOptions {
+  // Fraction of the serialization that still stalls training (pipelined
+  // copy-out; near zero by design).
+  double blocking_fraction = 0.05;
+};
+SystemModel BuildDeepFreeze(const CheckpointWorkload& workload,
+                            const DeepFreezeOptions& options = {});
+
+struct CheckFreqOptions {
+  // Maximum fraction of training time spent checkpointing.
+  double overhead_budget = 0.035;
+  // GPU-side snapshot bandwidth (device memory copy of the model states).
+  BytesPerSecond snapshot_bandwidth = 100e9;
+};
+SystemModel BuildCheckFreq(const CheckpointWorkload& workload,
+                           const CheckFreqOptions& options = {});
+
+struct CheckNRunOptions {
+  // Lossy compression factor on the persisted bytes.
+  double compression_ratio = 4.0;
+  // Compression throughput (stalls training like serialization does).
+  BytesPerSecond compression_bandwidth = 2e9;
+};
+SystemModel BuildCheckNRun(const CheckpointWorkload& workload,
+                           const CheckNRunOptions& options = {});
+
+}  // namespace gemini
+
+#endif  // SRC_BASELINES_RELATED_WORK_H_

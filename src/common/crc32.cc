@@ -1,0 +1,41 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace gemini {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? (kPolynomial ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t length) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  const auto& table = Table();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < length; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const void* data, size_t length) { return Crc32Update(0, data, length); }
+
+}  // namespace gemini

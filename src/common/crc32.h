@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial), used to integrity-check serialized
+// checkpoints: a recovery path must never silently load corrupted state.
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gemini {
+
+// One-shot CRC over a buffer.
+uint32_t Crc32(const void* data, size_t length);
+
+// Incremental form: pass the previous return value as `crc` (start with 0).
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t length);
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_CRC32_H_

@@ -1,0 +1,45 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gemini {
+namespace {
+
+LogLevel g_level = LogLevel::kWarning;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kNone:
+      return "?";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel GetLogLevel() { return g_level; }
+
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::fprintf(stderr, "[%s %s:%d] %s\n", LevelTag(level), Basename(file), line, message.c_str());
+}
+
+}  // namespace gemini

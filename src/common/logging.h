@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded; agents log recovery decisions at kInfo so
+// that example binaries narrate what the system does. Benchmarks set the
+// level to kWarning to keep output clean.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gemini {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kNone = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line to stderr (used by the GEMINI_LOG macro).
+void LogMessage(LogLevel level, const char* file, int line, const std::string& message);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) : level_(level), file_(file), line_(line) {}
+  ~LogLine() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GEMINI_LOG(level)                                              \
+  if (::gemini::LogLevel::level < ::gemini::GetLogLevel()) {           \
+  } else                                                               \
+    ::gemini::internal::LogLine(::gemini::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the simulator (failure arrival, profiling noise,
+// replacement latency) draws from explicitly seeded Rng instances so that any
+// experiment is reproducible from its seed.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gemini {
+
+// xoshiro256** seeded through SplitMix64. Small, fast, and good enough for
+// simulation workloads (not cryptographic).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). `bound` must be positive. Uses rejection sampling
+  // so the distribution is exactly uniform.
+  uint64_t NextU64Below(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  // Exponential with the given rate (events per unit); mean is 1/rate.
+  double Exponential(double rate);
+
+  // Standard normal via Box–Muller (no state caching; two uniforms per draw).
+  double Normal(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextU64Below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Chooses k distinct indices from [0, n) uniformly at random.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Derives an independent generator (e.g. one stream per machine).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gemini {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::normalized_stddev() const {
+  const double m = mean();
+  if (m == 0.0) {
+    return 0.0;
+  }
+  return stddev() / std::abs(m);
+}
+
+void QuantileSketch::Add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+double QuantileSketch::Quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+}  // namespace gemini

@@ -1,0 +1,53 @@
+// Streaming statistics accumulators used by benchmarks and the online
+// profiler (Section 5.4 of the paper measures mean and normalized standard
+// deviation of per-iteration idle spans).
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace gemini {
+
+// Welford online mean/variance.
+class RunningStat {
+ public:
+  void Add(double x);
+
+  int64_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  // stddev / mean; 0 when the mean is 0.
+  double normalized_stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Exact-quantile accumulator: stores samples, sorts on demand. Suitable for
+// the sample counts benchmarks produce (thousands, not billions).
+class QuantileSketch {
+ public:
+  void Add(double x);
+  // q in [0, 1]; linear interpolation between order statistics.
+  double Quantile(double q) const;
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_STATS_H_

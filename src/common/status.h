@@ -1,0 +1,139 @@
+// Lightweight Status / StatusOr error-handling types.
+//
+// The library reports recoverable errors through return values rather than
+// exceptions, following common practice in systems C++ codebases. `Status`
+// carries an error code and a human-readable message; `StatusOr<T>` carries
+// either a value or a non-OK Status.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gemini {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnavailable,
+  kDataLoss,
+  kDeadlineExceeded,
+  kInternal,
+  kAborted,
+  kUnimplemented,
+};
+
+// Returns a stable lowercase name for `code`, e.g. "not_found".
+std::string_view StatusCodeName(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status DataLossError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status InternalError(std::string message);
+Status AbortedError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  StatusOr(T value) : status_(), value_(std::move(value)) {}
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define GEMINI_RETURN_IF_ERROR(expr)           \
+  do {                                         \
+    ::gemini::Status status_macro_ = (expr);   \
+    if (!status_macro_.ok()) {                 \
+      return status_macro_;                    \
+    }                                          \
+  } while (false)
+
+// Evaluates a StatusOr expression; on error, returns the status. Otherwise
+// assigns the value to `lhs` (which may include a declaration).
+#define GEMINI_ASSIGN_OR_RETURN(lhs, expr)                      \
+  GEMINI_ASSIGN_OR_RETURN_IMPL_(                                \
+      GEMINI_STATUS_CONCAT_(statusor_, __LINE__), lhs, expr)
+#define GEMINI_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) {                                    \
+    return tmp.status();                              \
+  }                                                   \
+  lhs = std::move(tmp).value()
+#define GEMINI_STATUS_CONCAT_(a, b) GEMINI_STATUS_CONCAT_IMPL_(a, b)
+#define GEMINI_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,37 @@
+// Column-aligned plain-text tables, used by the bench binaries to print the
+// rows/series of the paper's tables and figures.
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gemini {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; missing cells are padded, extra cells asserted against.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header rule, e.g.
+  //   model        | iter (s) | idle (s)
+  //   -------------+----------+---------
+  //   GPT-2 100B   |    62.10 |    12.40
+  void Print(std::ostream& os) const;
+  std::string ToString() const;
+
+  // Formatting helpers for cells.
+  static std::string Fmt(double value, int precision = 2);
+  static std::string Fmt(int64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

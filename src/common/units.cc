@@ -1,0 +1,50 @@
+#include "src/common/units.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace gemini {
+
+std::string FormatBytes(Bytes bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB || bytes <= -kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB || bytes <= -kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB || bytes <= -kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld B", static_cast<long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(TimeNs t) {
+  char buf[64];
+  const double ns = static_cast<double>(t);
+  if (t >= kHour || t <= -kHour) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", ns / static_cast<double>(kHour));
+  } else if (t >= kMinute || t <= -kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", ns / static_cast<double>(kMinute));
+  } else if (t >= kSecond || t <= -kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / static_cast<double>(kSecond));
+  } else if (t >= kMillisecond || t <= -kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / static_cast<double>(kMillisecond));
+  } else if (t >= kMicrosecond || t <= -kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+TimeNs TransferTime(Bytes bytes, BytesPerSecond bandwidth) {
+  assert(bytes >= 0);
+  assert(bandwidth > 0.0);
+  const double seconds = static_cast<double>(bytes) / bandwidth;
+  return static_cast<TimeNs>(std::ceil(seconds * static_cast<double>(kSecond)));
+}
+
+}  // namespace gemini

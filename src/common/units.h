@@ -1,0 +1,71 @@
+// Byte-size and simulated-time units.
+//
+// Simulated time is kept in integer nanoseconds so that event ordering is
+// exact and runs are bit-reproducible. Byte counts are signed 64-bit so that
+// subtraction is safe in intermediate arithmetic.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gemini {
+
+// ---------------------------------------------------------------------------
+// Bytes
+// ---------------------------------------------------------------------------
+
+using Bytes = int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes KiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kKiB)); }
+constexpr Bytes MiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kMiB)); }
+constexpr Bytes GiB(double n) { return static_cast<Bytes>(n * static_cast<double>(kGiB)); }
+
+// Human readable, e.g. "9.40 GiB" / "128.00 MiB" / "532 B".
+std::string FormatBytes(Bytes bytes);
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+// Simulated time / duration in nanoseconds since simulation start.
+using TimeNs = int64_t;
+
+inline constexpr TimeNs kMicrosecond = 1000;
+inline constexpr TimeNs kMillisecond = 1000 * kMicrosecond;
+inline constexpr TimeNs kSecond = 1000 * kMillisecond;
+inline constexpr TimeNs kMinute = 60 * kSecond;
+inline constexpr TimeNs kHour = 60 * kMinute;
+
+constexpr TimeNs Micros(double n) { return static_cast<TimeNs>(n * static_cast<double>(kMicrosecond)); }
+constexpr TimeNs Millis(double n) { return static_cast<TimeNs>(n * static_cast<double>(kMillisecond)); }
+constexpr TimeNs Seconds(double n) { return static_cast<TimeNs>(n * static_cast<double>(kSecond)); }
+constexpr TimeNs Minutes(double n) { return static_cast<TimeNs>(n * static_cast<double>(kMinute)); }
+constexpr TimeNs Hours(double n) { return static_cast<TimeNs>(n * static_cast<double>(kHour)); }
+
+constexpr double ToSeconds(TimeNs t) { return static_cast<double>(t) / static_cast<double>(kSecond); }
+
+// Human readable with adaptive unit, e.g. "62.0 s", "3.21 ms", "1.5 h".
+std::string FormatDuration(TimeNs t);
+
+// ---------------------------------------------------------------------------
+// Bandwidth
+// ---------------------------------------------------------------------------
+
+// Bandwidths are expressed in bytes per second (double: they only feed cost
+// models, never ordering decisions).
+using BytesPerSecond = double;
+
+constexpr BytesPerSecond GbpsToBytesPerSecond(double gbps) { return gbps * 1e9 / 8.0; }
+constexpr double BytesPerSecondToGbps(BytesPerSecond bps) { return bps * 8.0 / 1e9; }
+
+// Time to move `bytes` at `bandwidth`, rounded up to whole nanoseconds.
+TimeNs TransferTime(Bytes bytes, BytesPerSecond bandwidth);
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_UNITS_H_

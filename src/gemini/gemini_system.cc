@@ -1,0 +1,611 @@
+#include "src/gemini/gemini_system.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+std::string_view RecoverySourceName(RecoverySource source) {
+  switch (source) {
+    case RecoverySource::kLocalCpuMemory:
+      return "local_cpu_memory";
+    case RecoverySource::kRemoteCpuMemory:
+      return "remote_cpu_memory";
+    case RecoverySource::kPersistentStorage:
+      return "persistent_storage";
+  }
+  return "unknown";
+}
+
+GeminiSystem::GeminiSystem(GeminiConfig config) : config_(std::move(config)) {
+  if (config_.instance.name.empty()) {
+    config_.instance = P4d24xlarge();
+  }
+}
+
+GeminiSystem::~GeminiSystem() = default;
+
+Status GeminiSystem::Initialize() {
+  if (initialized_) {
+    return FailedPreconditionError("GeminiSystem already initialized");
+  }
+  if (config_.num_machines < 1) {
+    return InvalidArgumentError("need at least one machine");
+  }
+  if (config_.num_replicas < 1 || config_.num_replicas > config_.num_machines) {
+    return InvalidArgumentError("replica count must be in [1, num_machines]");
+  }
+
+  // ---- Cluster and fabric.
+  FabricConfig fabric_config;
+  fabric_config.link_bandwidth = config_.instance.network_bandwidth;
+  cluster_ = std::make_unique<Cluster>(sim_, config_.num_machines, config_.instance,
+                                       fabric_config);
+
+  // ---- Placement (Algorithm 1) and CPU checkpoint stores.
+  GEMINI_ASSIGN_OR_RETURN(placement_,
+                          BuildMixedPlacement(config_.num_machines, config_.num_replicas));
+  const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  cpu_stores_.clear();
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    cpu_stores_.push_back(std::make_unique<CpuCheckpointStore>(cluster_->machine(rank)));
+  }
+  for (int owner = 0; owner < config_.num_machines; ++owner) {
+    for (const int holder : placement_.replica_sets[static_cast<size_t>(owner)]) {
+      GEMINI_RETURN_IF_ERROR(
+          cpu_stores_[static_cast<size_t>(holder)]->HostOwner(owner, replica_bytes));
+    }
+  }
+
+  // ---- Trainer and persistent tier (seeded with the initial checkpoint).
+  trainer_ = std::make_unique<ShardedTrainer>(config_.model, config_.num_machines,
+                                              config_.payload_elements, config_.seed);
+  persistent_ = std::make_unique<PersistentStore>(sim_, config_.persistent);
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    persistent_->SeedImmediate(trainer_->MakeCheckpoint(rank), config_.num_machines);
+  }
+
+  // ---- Distributed KV store on the first few machines.
+  std::vector<int> kv_ranks;
+  for (int rank = 0; rank < std::min(config_.kv_server_count, config_.num_machines); ++rank) {
+    kv_ranks.push_back(rank);
+  }
+  kvstore_ = std::make_unique<KvStoreCluster>(
+      sim_, cluster_->fabric(), kv_ranks,
+      [this](int rank) { return cluster_->machine(rank).alive(); }, config_.kvstore,
+      config_.seed ^ 0x6b76ULL);
+  kvstore_->Start();
+
+  // ---- Agents: every machine runs a worker agent; the first one to win the
+  // root election becomes the root agent (the same path used at failover).
+  workers_.clear();
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    auto worker =
+        std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
+    worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
+    worker->Start();
+    workers_.push_back(std::move(worker));
+  }
+
+  // ---- Cloud operator and failure injection.
+  cloud_ = std::make_unique<CloudOperator>(sim_, *cluster_, config_.cloud,
+                                           config_.seed ^ 0x636cULL);
+  injector_ = std::make_unique<FailureInjector>(sim_, *cluster_, config_.seed ^ 0x666cULL);
+  injector_->set_observer([this](const FailureEvent& event) {
+    // Synchronous training hangs the moment any participant fails: the
+    // in-flight iteration (and its in-flight checkpoint) never completes.
+    if (running_ && !recovering_) {
+      if (iteration_end_event_.valid()) {
+        sim_.Cancel(iteration_end_event_);
+        iteration_end_event_ = EventId{};
+      }
+      if (checkpoint_commit_event_.valid()) {
+        sim_.Cancel(checkpoint_commit_event_);
+        checkpoint_commit_event_ = EventId{};
+      }
+    }
+    if (event.type == FailureType::kSoftware) {
+      for (const int rank : event.ranks) {
+        workers_[static_cast<size_t>(rank)]->ReportProcessDown();
+      }
+    }
+  });
+
+  // ---- Profile the timeline and plan checkpoint traffic (Sections 5.3/5.4).
+  TimelineParams timeline_params;
+  timeline_params.model = config_.model;
+  timeline_params.instance = config_.instance;
+  timeline_params.num_machines = config_.num_machines;
+  timeline_ = BuildZero3Timeline(timeline_params);
+  ProfilerConfig profiler_config;
+  profiler_config.iterations = config_.profile_iterations;
+  Rng profile_rng(config_.seed ^ 0x70726fULL);
+  profile_ = ProfileIdleSpans(timeline_, profiler_config, profile_rng);
+
+  ExecutorParams executor_params;
+  executor_params.timeline = timeline_params;
+  executor_params.scheme = InterleaveScheme::kPipelined;
+  executor_params.num_replicas = config_.num_replicas;
+  executor_params.reserved_buffer_per_gpu = config_.reserved_buffer_per_gpu;
+  executor_params.num_buffers = config_.num_buffers;
+  executor_params.gamma = config_.gamma;
+  executor_params.profiled_spans = profile_.spans;
+  const FrequencyDecision frequency = ChooseCheckpointFrequency(executor_params);
+  execution_ = frequency.execution;
+  checkpoint_interval_iterations_ = frequency.interval_iterations;
+  GEMINI_RETURN_IF_ERROR(execution_.status);
+  if (checkpoint_interval_iterations_ > 1) {
+    GEMINI_LOG(kInfo) << "checkpoint traffic exceeds one iteration's idle time; "
+                      << "checkpointing every " << checkpoint_interval_iterations_
+                      << " iterations (Section 5.3 amortization)";
+  }
+
+  // Reserve the checkpoint communication buffer on every GPU.
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    GEMINI_RETURN_IF_ERROR(
+        cluster_->machine(rank).AllocateOnAllGpus(config_.reserved_buffer_per_gpu));
+  }
+
+  report_ = TrainingReport{};
+  report_.iteration_time = execution_.iteration_time;
+  initialized_ = true;
+  return Status::Ok();
+}
+
+StatusOr<TrainingReport> GeminiSystem::TrainUntil(int64_t target_iterations,
+                                                  TimeNs sim_deadline) {
+  if (!initialized_) {
+    return FailedPreconditionError("Initialize() first");
+  }
+  if (running_) {
+    return FailedPreconditionError("training already running");
+  }
+  target_iterations_ = target_iterations;
+  running_ = true;
+  run_started_at_ = sim_.now();
+  last_persistent_checkpoint_at_ = sim_.now();
+  StartNextIteration();
+  while (running_) {
+    if (sim_deadline > 0 && sim_.now() >= sim_deadline) {
+      GEMINI_LOG(kWarning) << "training stopped at the simulated-time deadline";
+      FinishRun();
+      break;
+    }
+    if (!sim_.Step()) {
+      return InternalError("simulation deadlocked: event queue drained while training");
+    }
+  }
+  report_.wall_time = sim_.now() - run_started_at_;
+  report_.iterations_completed = trainer_->iteration();
+  return report_;
+}
+
+void GeminiSystem::FinishRun() {
+  running_ = false;
+  if (iteration_end_event_.valid()) {
+    sim_.Cancel(iteration_end_event_);
+    iteration_end_event_ = EventId{};
+  }
+  if (checkpoint_commit_event_.valid()) {
+    sim_.Cancel(checkpoint_commit_event_);
+    checkpoint_commit_event_ = EventId{};
+  }
+}
+
+void GeminiSystem::StartNextIteration() {
+  if (!running_ || recovering_) {
+    return;
+  }
+  if (trainer_->iteration() >= target_iterations_) {
+    FinishRun();
+    return;
+  }
+  // Checkpoint block structure: the snapshot is captured (staged) at the
+  // start of a k-iteration block and its traffic spreads across the block's
+  // idle spans, committing during the block's last iteration. k == 1 is the
+  // paper's common case: stage and commit within the same iteration.
+  const int64_t iteration = trainer_->iteration();
+  const int interval = checkpoint_interval_iterations_;
+  if (iteration % interval == 0) {
+    staged_snapshots_.clear();
+    for (int owner = 0; owner < config_.num_machines; ++owner) {
+      if (cluster_->machine(owner).alive()) {
+        staged_snapshots_.push_back(trainer_->MakeCheckpoint(owner));
+      }
+    }
+    staged_iteration_ = iteration;
+  }
+  if (config_.num_replicas >= 1 && iteration % interval == interval - 1 &&
+      staged_iteration_ >= 0) {
+    const int64_t snapshot_iteration = staged_iteration_;
+    checkpoint_commit_event_ =
+        sim_.ScheduleAfter(std::min(execution_.checkpoint_done, execution_.iteration_time),
+                           [this, snapshot_iteration] {
+                             checkpoint_commit_event_ = EventId{};
+                             OnCheckpointCommit(snapshot_iteration);
+                           });
+  }
+  iteration_end_event_ = sim_.ScheduleAfter(execution_.iteration_time, [this] {
+    iteration_end_event_ = EventId{};
+    OnIterationComplete();
+  });
+}
+
+void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
+  // Real data plane: the block's staged snapshots land in all holders'
+  // double-buffered CPU stores (the transfer timing was already paid by the
+  // interleaved schedule that led to this commit instant).
+  if (staged_iteration_ != snapshot_iteration) {
+    GEMINI_LOG(kWarning) << "stale checkpoint commit dropped (staged " << staged_iteration_
+                         << ", committing " << snapshot_iteration << ")";
+    return;
+  }
+  for (const Checkpoint& snapshot : staged_snapshots_) {
+    if (!cluster_->machine(snapshot.owner_rank).alive()) {
+      continue;
+    }
+    for (const int holder :
+         placement_.replica_sets[static_cast<size_t>(snapshot.owner_rank)]) {
+      if (!cluster_->machine(holder).alive()) {
+        continue;
+      }
+      const Status status = cpu_stores_[static_cast<size_t>(holder)]->WriteComplete(snapshot);
+      if (!status.ok()) {
+        GEMINI_LOG(kWarning) << "checkpoint commit failed on rank " << holder << ": " << status;
+        return;
+      }
+    }
+  }
+  ++report_.cpu_checkpoints_committed;
+}
+
+void GeminiSystem::OnIterationComplete() {
+  trainer_->Step();
+  MaybePersistentCheckpoint();
+}
+
+void GeminiSystem::MaybePersistentCheckpoint() {
+  if (sim_.now() - last_persistent_checkpoint_at_ < config_.persistent_checkpoint_interval) {
+    StartNextIteration();
+    return;
+  }
+  last_persistent_checkpoint_at_ = sim_.now();
+  // Serialization blocks training (torch.save); the upload itself is
+  // asynchronous through the store's shared bandwidth.
+  const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  const TimeNs serialize = TransferTime(replica_bytes, config_.serialization_bandwidth);
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    if (!cluster_->machine(rank).alive()) {
+      continue;
+    }
+    persistent_->Save(trainer_->MakeCheckpoint(rank), config_.num_machines, [](Status) {});
+  }
+  ++report_.persistent_checkpoints_committed;
+  sim_.ScheduleAfter(serialize, [this] { StartNextIteration(); });
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (Section 6.2)
+// ---------------------------------------------------------------------------
+
+TimeNs GeminiSystem::RecoverySerializationTime() const {
+  // Each machine serializes the replicas it holds (its own plus its group
+  // peers': m copies) with torch.save before recovery proceeds.
+  const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  return config_.num_replicas * TransferTime(replica_bytes, config_.serialization_bandwidth);
+}
+
+void GeminiSystem::OnFailureDetected(const FailureReport& report) {
+  if (!running_ || recovering_) {
+    return;
+  }
+  recovering_ = true;
+  if (root_agent_ != nullptr) {
+    root_agent_->SetPaused(true);
+  }
+  GEMINI_LOG(kInfo) << "recovery: handling " << FailureTypeName(report.type) << " failure of "
+                    << report.ranks.size() << " machine(s)";
+  if (report.type == FailureType::kSoftware) {
+    RecoverFromSoftwareFailure(report);
+  } else {
+    RecoverFromHardwareFailure(report);
+  }
+}
+
+void GeminiSystem::RecoverFromSoftwareFailure(const FailureReport& report) {
+  RecoveryRecord record;
+  record.type = FailureType::kSoftware;
+  record.failed_ranks = report.ranks;
+  record.failure_detected_at = report.detected_at;
+  record.iteration_at_failure = trainer_->iteration();
+  record.source = RecoverySource::kLocalCpuMemory;
+
+  // Restart the crashed processes: serialize the in-memory checkpoints so
+  // torch.load can read them, then warm up. Everyone restores from the local
+  // replica (Figure 6b) — zero retrieval traffic.
+  const TimeNs delay = RecoverySerializationTime() + config_.restart_warmup;
+  sim_.ScheduleAfter(delay, [this, record]() mutable {
+    std::vector<Checkpoint> checkpoints;
+    for (int rank = 0; rank < config_.num_machines; ++rank) {
+      const std::optional<Checkpoint> local =
+          cpu_stores_[static_cast<size_t>(rank)]->Latest(rank);
+      if (!local.has_value()) {
+        // Failure before the first commit: fall back to the persistent tier.
+        RetrieveFromPersistentAndResume(record, {});
+        return;
+      }
+      // The restarting process loads through the serialized form (the
+      // torch.save/torch.load path), so the CRC integrity check guards the
+      // bytes actually restored.
+      const StatusOr<Checkpoint> loaded =
+          DeserializeCheckpoint(SerializeCheckpoint(*local));
+      if (!loaded.ok()) {
+        GEMINI_LOG(kError) << "local checkpoint failed integrity check: " << loaded.status();
+        RetrieveFromPersistentAndResume(record, {});
+        return;
+      }
+      checkpoints.push_back(*loaded);
+    }
+    const Status status = trainer_->RestoreAll(checkpoints);
+    if (!status.ok()) {
+      GEMINI_LOG(kError) << "software recovery failed to restore: " << status;
+      RetrieveFromPersistentAndResume(record, {});
+      return;
+    }
+    record.rollback_iteration = trainer_->iteration();
+    for (const int rank : record.failed_ranks) {
+      cluster_->machine(rank).set_health(MachineHealth::kHealthy);
+      workers_[static_cast<size_t>(rank)]->ReportHealthy();
+    }
+    ResumeTraining(record);
+  });
+}
+
+void GeminiSystem::RecoverFromHardwareFailure(const FailureReport& report) {
+  RecoveryRecord record;
+  record.type = FailureType::kHardware;
+  record.failed_ranks = report.ranks;
+  record.failure_detected_at = report.detected_at;
+  record.iteration_at_failure = trainer_->iteration();
+
+  // Replace every dead machine; meanwhile alive machines serialize their
+  // replicas (the two overlap, Figure 14).
+  auto pending = std::make_shared<int>(static_cast<int>(report.ranks.size()));
+  auto replaced = std::make_shared<std::vector<int>>();
+  const TimeNs serialize_done_at = sim_.now() + RecoverySerializationTime();
+  for (const int rank : report.ranks) {
+    cloud_->ReplaceMachine(rank, [this, rank, pending, replaced, record,
+                                  serialize_done_at](Machine& machine) mutable {
+      // Fresh DRAM: rebuild the store's hosting reservations for this rank.
+      CpuCheckpointStore& store = *cpu_stores_[static_cast<size_t>(rank)];
+      store.ResetForMachine(machine);
+      const Bytes replica_bytes =
+          config_.model.CheckpointBytesPerMachine(config_.num_machines);
+      for (int owner = 0; owner < config_.num_machines; ++owner) {
+        const auto& holders = placement_.replica_sets[static_cast<size_t>(owner)];
+        if (std::find(holders.begin(), holders.end(), rank) != holders.end()) {
+          (void)store.HostOwner(owner, replica_bytes);
+        }
+      }
+      (void)machine.AllocateOnAllGpus(config_.reserved_buffer_per_gpu);
+      // Restart the co-located KV member and agents.
+      for (int i = 0; i < kvstore_->num_nodes(); ++i) {
+        if (kvstore_->server_ranks()[static_cast<size_t>(i)] == rank) {
+          kvstore_->node(i).ResetAndRestart();
+        }
+      }
+      RestartAgentsForRank(rank);
+      replaced->push_back(rank);
+      if (--*pending > 0) {
+        return;
+      }
+      // All machines replaced. Serialization may still be running.
+      const TimeNs wait = std::max<TimeNs>(0, serialize_done_at - sim_.now());
+      sim_.ScheduleAfter(wait, [this, record, replaced]() mutable {
+        // Case analysis: can every rank's checkpoint be served from CPU
+        // memory of machines that survived?
+        std::vector<bool> failed(static_cast<size_t>(config_.num_machines), false);
+        for (const int rank : *replaced) {
+          failed[static_cast<size_t>(rank)] = true;
+        }
+        if (placement_.Recoverable(failed)) {
+          RetrieveFromPeersAndResume(record, *replaced);
+        } else {
+          GEMINI_LOG(kWarning)
+              << "recovery: an entire placement group was lost; falling back to "
+                 "persistent storage";
+          RetrieveFromPersistentAndResume(record, *replaced);
+        }
+      });
+    });
+  }
+}
+
+void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record,
+                                              std::vector<int> replaced_ranks) {
+  record.source = RecoverySource::kRemoteCpuMemory;
+  const TimeNs retrieval_started = sim_.now();
+
+  std::vector<bool> alive(static_cast<size_t>(config_.num_machines), true);
+  for (const int rank : replaced_ranks) {
+    alive[static_cast<size_t>(rank)] = false;  // New DRAM holds no checkpoints yet.
+  }
+
+  auto fetched = std::make_shared<std::vector<Checkpoint>>();
+  auto pending = std::make_shared<int>(static_cast<int>(replaced_ranks.size()));
+  auto failed = std::make_shared<bool>(false);
+
+  auto finish = [this, record, retrieval_started, fetched]() mutable {
+    // Install fetched replicas, then restore everyone: survivors from local
+    // CPU memory, replacements from the fetched copies (Figure 6c).
+    std::vector<Checkpoint> checkpoints;
+    std::vector<bool> have(static_cast<size_t>(config_.num_machines), false);
+    for (Checkpoint& checkpoint : *fetched) {
+      (void)cpu_stores_[static_cast<size_t>(checkpoint.owner_rank)]->WriteComplete(checkpoint);
+      have[static_cast<size_t>(checkpoint.owner_rank)] = true;
+      checkpoints.push_back(std::move(checkpoint));
+    }
+    for (int rank = 0; rank < config_.num_machines; ++rank) {
+      if (have[static_cast<size_t>(rank)]) {
+        continue;
+      }
+      const std::optional<Checkpoint> local =
+          cpu_stores_[static_cast<size_t>(rank)]->Latest(rank);
+      if (!local.has_value()) {
+        RetrieveFromPersistentAndResume(record, {});
+        return;
+      }
+      checkpoints.push_back(*local);
+    }
+    const Status status = trainer_->RestoreAll(checkpoints);
+    if (!status.ok()) {
+      GEMINI_LOG(kError) << "peer recovery failed to restore: " << status;
+      RetrieveFromPersistentAndResume(record, {});
+      return;
+    }
+    record.rollback_iteration = trainer_->iteration();
+    record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
+                             execution_.iteration_time +
+                         (sim_.now() - retrieval_started);
+    sim_.ScheduleAfter(config_.restart_warmup,
+                       [this, record]() mutable { ResumeTraining(record); });
+  };
+
+  if (replaced_ranks.empty()) {
+    finish();
+    return;
+  }
+  for (const int rank : replaced_ranks) {
+    const std::vector<int> holders = placement_.AliveRemoteHolders(rank, alive);
+    if (holders.empty()) {
+      RetrieveFromPersistentAndResume(record, replaced_ranks);
+      return;
+    }
+    const int holder = holders.front();
+    const std::optional<Checkpoint> replica =
+        cpu_stores_[static_cast<size_t>(holder)]->Latest(rank);
+    if (!replica.has_value()) {
+      RetrieveFromPersistentAndResume(record, replaced_ranks);
+      return;
+    }
+    Fabric::TransferOptions options;  // Full line rate for retrieval.
+    cluster_->fabric().Transfer(
+        holder, rank, replica->logical_bytes, options,
+        [this, record, replica = *replica, fetched, pending, failed, replaced_ranks,
+         finish](Status status) mutable {
+          if (*failed) {
+            return;
+          }
+          if (!status.ok()) {
+            *failed = true;
+            GEMINI_LOG(kWarning) << "recovery: peer retrieval failed (" << status
+                                 << "); falling back to persistent storage";
+            RetrieveFromPersistentAndResume(record, replaced_ranks);
+            return;
+          }
+          fetched->push_back(std::move(replica));
+          if (--*pending == 0) {
+            finish();
+          }
+        });
+  }
+}
+
+void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
+                                                   std::vector<int> replaced_ranks) {
+  (void)replaced_ranks;
+  record.source = RecoverySource::kPersistentStorage;
+  const TimeNs retrieval_started = sim_.now();
+  const int64_t iteration = persistent_->LatestCompleteIteration();
+  if (iteration < 0) {
+    GEMINI_LOG(kError) << "recovery: no persistent checkpoint exists; training cannot resume";
+    FinishRun();
+    return;
+  }
+  auto checkpoints = std::make_shared<std::vector<Checkpoint>>();
+  auto pending = std::make_shared<int>(config_.num_machines);
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    persistent_->Retrieve(
+        rank, iteration,
+        [this, record, retrieval_started, checkpoints,
+         pending](StatusOr<Checkpoint> result) mutable {
+          if (!result.ok()) {
+            GEMINI_LOG(kError) << "persistent retrieval failed: " << result.status();
+            FinishRun();
+            return;
+          }
+          checkpoints->push_back(std::move(result).value());
+          if (--*pending > 0) {
+            return;
+          }
+          const Status status = trainer_->RestoreAll(*checkpoints);
+          if (!status.ok()) {
+            GEMINI_LOG(kError) << "persistent recovery failed to restore: " << status;
+            FinishRun();
+            return;
+          }
+          // Refill the CPU tier so subsequent failures recover fast again.
+          for (const Checkpoint& checkpoint : *checkpoints) {
+            for (const int holder :
+                 placement_.replica_sets[static_cast<size_t>(checkpoint.owner_rank)]) {
+              if (cluster_->machine(holder).alive()) {
+                (void)cpu_stores_[static_cast<size_t>(holder)]->WriteComplete(checkpoint);
+              }
+            }
+          }
+          record.rollback_iteration = trainer_->iteration();
+          record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
+                                   execution_.iteration_time +
+                               (sim_.now() - retrieval_started);
+          sim_.ScheduleAfter(config_.restart_warmup,
+                             [this, record]() mutable { ResumeTraining(record); });
+        });
+  }
+}
+
+void GeminiSystem::ResumeTraining(RecoveryRecord record) {
+  record.training_resumed_at = sim_.now();
+  record.downtime = record.training_resumed_at - record.failure_detected_at;
+  if (record.wasted_time == 0) {
+    record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
+                         execution_.iteration_time;
+  }
+  GEMINI_LOG(kInfo) << "recovery: resumed training at iteration " << record.rollback_iteration
+                    << " from " << RecoverySourceName(record.source) << " (downtime "
+                    << FormatDuration(record.downtime) << ", wasted "
+                    << FormatDuration(record.wasted_time) << ")";
+  report_.recoveries.push_back(record);
+  recovering_ = false;
+  if (root_agent_ != nullptr) {
+    root_agent_->ClearHandled(record.failed_ranks);
+    root_agent_->SetPaused(false);
+  }
+  StartNextIteration();
+}
+
+void GeminiSystem::RestartAgentsForRank(int rank) {
+  workers_[static_cast<size_t>(rank)]->Stop();
+  auto worker = std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
+  worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
+  worker->Start();
+  workers_[static_cast<size_t>(rank)] = std::move(worker);
+}
+
+void GeminiSystem::OnWorkerPromotedToRoot(int rank) {
+  if (root_agent_ != nullptr && root_rank_ == rank) {
+    return;  // Already the root.
+  }
+  GEMINI_LOG(kInfo) << "root agent now running on rank " << rank;
+  root_rank_ = rank;
+  if (root_agent_ != nullptr) {
+    root_agent_->Stop();
+  }
+  root_agent_ = std::make_unique<RootAgent>(
+      sim_, *cluster_, *kvstore_, rank, config_.agent,
+      [this](const FailureReport& report) { OnFailureDetected(report); });
+  root_agent_->Start();
+}
+
+}  // namespace gemini

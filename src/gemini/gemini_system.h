@@ -1,0 +1,205 @@
+// GeminiSystem: the end-to-end distributed training system with in-memory
+// checkpointing (the paper's full design, Sections 3-6, on the simulated
+// substrate).
+//
+// Wiring: a Cluster of GPU machines shares a Fabric; a KvStoreCluster (etcd
+// stand-in) runs on the first few machines; every machine runs a WorkerAgent
+// heartbeating into the store; one RootAgent scans health keys and drives
+// recovery through the CloudOperator. Training is a ShardedTrainer whose
+// per-iteration timing comes from the ZeRO-3 executor, with checkpoint
+// traffic scheduled by Algorithm 2 into profiled idle spans. Checkpoints are
+// real byte payloads replicated per the Algorithm 1 placement into
+// CpuCheckpointStores (double-buffered), with a PersistentStore tier for the
+// 3-hourly user checkpoints and the group-loss fallback path.
+//
+// Recovery faithfully follows Section 6.2:
+//  * software failure  -> all ranks reload their local CPU replica;
+//  * hardware, case 1  -> replaced machines fetch replicas from group peers;
+//  * hardware, case 2  -> a whole group died: everyone rolls back to the
+//                         latest complete persistent checkpoint;
+//  * root death        -> workers detect the expired root key and promote
+//                         one of themselves via the KV election primitive.
+#ifndef SRC_GEMINI_GEMINI_SYSTEM_H_
+#define SRC_GEMINI_GEMINI_SYSTEM_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/agent/cloud_operator.h"
+#include "src/agent/failure_injector.h"
+#include "src/agent/root_agent.h"
+#include "src/agent/worker_agent.h"
+#include "src/baselines/system_model.h"
+#include "src/cluster/cluster.h"
+#include "src/kvstore/kv_store.h"
+#include "src/placement/placement.h"
+#include "src/schedule/executor.h"
+#include "src/storage/cpu_store.h"
+#include "src/storage/persistent_store.h"
+#include "src/storage/serializer.h"
+#include "src/training/model_config.h"
+#include "src/training/profiler.h"
+#include "src/training/trainer.h"
+
+namespace gemini {
+
+struct GeminiConfig {
+  ModelConfig model = Gpt2_100B();
+  InstanceSpec instance;  // Defaults to p4d.24xlarge when left empty.
+  int num_machines = 16;
+  int num_replicas = 2;  // m
+  Bytes reserved_buffer_per_gpu = MiB(128);
+  int num_buffers = 4;  // p
+  double gamma = 0.7;
+  int profile_iterations = 20;
+  TimeNs persistent_checkpoint_interval = Hours(3);
+  // Real floats per machine shard (the data plane payload).
+  int payload_elements = 64;
+  int kv_server_count = 3;
+  TimeNs restart_warmup = Seconds(260);
+  BytesPerSecond serialization_bandwidth = 0.93e9;
+  AgentConfig agent;
+  CloudOperatorConfig cloud;
+  KvStoreConfig kvstore;
+  PersistentStoreConfig persistent;
+  uint64_t seed = 42;
+};
+
+enum class RecoverySource { kLocalCpuMemory, kRemoteCpuMemory, kPersistentStorage };
+
+std::string_view RecoverySourceName(RecoverySource source);
+
+struct RecoveryRecord {
+  FailureType type = FailureType::kSoftware;
+  std::vector<int> failed_ranks;
+  RecoverySource source = RecoverySource::kLocalCpuMemory;
+  TimeNs failure_detected_at = 0;
+  TimeNs training_resumed_at = 0;
+  int64_t iteration_at_failure = 0;
+  int64_t rollback_iteration = 0;
+  // Lost progress plus retrieval (the paper's wasted-time metric).
+  TimeNs wasted_time = 0;
+  // Wall-clock from detection to resume (includes fixed overheads).
+  TimeNs downtime = 0;
+};
+
+struct TrainingReport {
+  int64_t iterations_completed = 0;
+  TimeNs wall_time = 0;
+  TimeNs iteration_time = 0;
+  int64_t cpu_checkpoints_committed = 0;
+  int64_t persistent_checkpoints_committed = 0;
+  std::vector<RecoveryRecord> recoveries;
+
+  // Productive fraction: forward progress over wall-clock.
+  double effective_training_ratio() const {
+    if (wall_time <= 0) {
+      return 1.0;
+    }
+    return static_cast<double>(iterations_completed) * static_cast<double>(iteration_time) /
+           static_cast<double>(wall_time);
+  }
+};
+
+class GeminiSystem {
+ public:
+  explicit GeminiSystem(GeminiConfig config);
+  ~GeminiSystem();
+
+  GeminiSystem(const GeminiSystem&) = delete;
+  GeminiSystem& operator=(const GeminiSystem&) = delete;
+
+  // Builds the substrate, computes the placement, profiles the timeline,
+  // plans checkpoint traffic, starts agents, and seeds the persistent store
+  // with the initial (iteration 0) global checkpoint.
+  Status Initialize();
+
+  // Runs training until `target_iterations` iterations have completed
+  // (across failures and rollbacks). A non-zero `sim_deadline` bounds the
+  // simulated time: exceeding it returns the report so far (e.g. a failure
+  // storm that takes out the KV quorum would otherwise never finish).
+  StatusOr<TrainingReport> TrainUntil(int64_t target_iterations, TimeNs sim_deadline = 0);
+
+  // ---- Introspection ------------------------------------------------------
+  Simulator& sim() { return sim_; }
+  Cluster& cluster() { return *cluster_; }
+  KvStoreCluster& kvstore() { return *kvstore_; }
+  FailureInjector& failure_injector() { return *injector_; }
+  CloudOperator& cloud_operator() { return *cloud_; }
+  ShardedTrainer& trainer() { return *trainer_; }
+  PersistentStore& persistent_store() { return *persistent_; }
+  CpuCheckpointStore& cpu_store(int rank) { return *cpu_stores_.at(static_cast<size_t>(rank)); }
+  const PlacementPlan& placement() const { return placement_; }
+  const ExecutionResult& iteration_execution() const { return execution_; }
+  // Checkpoint every k iterations (k > 1 when the traffic does not fit one
+  // iteration's idle time; Section 5.3 frequency amortization).
+  int checkpoint_interval_iterations() const { return checkpoint_interval_iterations_; }
+  const ProfileResult& profile() const { return profile_; }
+  const TrainingReport& report() const { return report_; }
+  const GeminiConfig& config() const { return config_; }
+  int root_rank() const { return root_rank_; }
+  bool recovering() const { return recovering_; }
+
+ private:
+  // ---- Training loop ----
+  void StartNextIteration();
+  void OnCheckpointCommit(int64_t snapshot_iteration);
+  void OnIterationComplete();
+  void MaybePersistentCheckpoint();
+  void FinishRun();
+
+  // ---- Recovery (Section 6.2) ----
+  void OnFailureDetected(const FailureReport& report);
+  void RecoverFromSoftwareFailure(const FailureReport& report);
+  void RecoverFromHardwareFailure(const FailureReport& report);
+  // Case 1: fetch replacements' checkpoints from alive group peers.
+  void RetrieveFromPeersAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
+  // Case 2: roll everyone back to the persistent tier.
+  void RetrieveFromPersistentAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
+  void ResumeTraining(RecoveryRecord record);
+  void RestartAgentsForRank(int rank);
+  void OnWorkerPromotedToRoot(int rank);
+
+  // Serialization time for the replicas each machine holds (torch.save at
+  // recovery; Figure 14's 162 s).
+  TimeNs RecoverySerializationTime() const;
+
+  GeminiConfig config_;
+  Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<KvStoreCluster> kvstore_;
+  std::unique_ptr<PersistentStore> persistent_;
+  std::vector<std::unique_ptr<CpuCheckpointStore>> cpu_stores_;
+  std::unique_ptr<ShardedTrainer> trainer_;
+  std::unique_ptr<CloudOperator> cloud_;
+  std::unique_ptr<FailureInjector> injector_;
+  std::vector<std::unique_ptr<WorkerAgent>> workers_;
+  std::unique_ptr<RootAgent> root_agent_;
+  int root_rank_ = 0;
+
+  PlacementPlan placement_;
+  IterationTimeline timeline_;
+  ProfileResult profile_;
+  ExecutionResult execution_;
+  int checkpoint_interval_iterations_ = 1;
+  // Snapshot captured at the start of the current checkpoint block, held in
+  // the staging buffers until the block's last iteration commits it.
+  std::vector<Checkpoint> staged_snapshots_;
+  int64_t staged_iteration_ = -1;
+
+  bool initialized_ = false;
+  bool running_ = false;
+  bool recovering_ = false;
+  int64_t target_iterations_ = 0;
+  TimeNs run_started_at_ = 0;
+  TimeNs last_persistent_checkpoint_at_ = 0;
+  EventId iteration_end_event_{};
+  EventId checkpoint_commit_event_{};
+  TrainingReport report_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_GEMINI_GEMINI_SYSTEM_H_

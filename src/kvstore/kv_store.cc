@@ -1,0 +1,656 @@
+#include "src/kvstore/kv_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace gemini {
+
+// ---------------------------------------------------------------------------
+// KvStoreCluster
+// ---------------------------------------------------------------------------
+
+KvStoreCluster::KvStoreCluster(Simulator& sim, Fabric& fabric, std::vector<int> server_ranks,
+                               std::function<bool(int rank)> alive, KvStoreConfig config,
+                               uint64_t seed)
+    : sim_(sim),
+      fabric_(fabric),
+      server_ranks_(std::move(server_ranks)),
+      alive_(std::move(alive)),
+      config_(config) {
+  assert(!server_ranks_.empty());
+  assert(alive_);
+  Rng seeder(seed);
+  nodes_.reserve(server_ranks_.size());
+  for (size_t i = 0; i < server_ranks_.size(); ++i) {
+    nodes_.push_back(std::make_unique<KvNode>(*this, static_cast<int>(i),
+                                              server_ranks_[i], seeder.NextU64()));
+  }
+}
+
+KvStoreCluster::~KvStoreCluster() = default;
+
+void KvStoreCluster::Start() {
+  for (auto& node : nodes_) {
+    node->Start();
+  }
+}
+
+KvNode* KvStoreCluster::Leader() const {
+  // During a partition a deposed leader may still believe it leads; the
+  // highest term identifies the real (quorum-backed) one.
+  KvNode* best = nullptr;
+  for (const auto& node : nodes_) {
+    if (node->role() == KvNode::Role::kLeader && node->alive() &&
+        (best == nullptr || node->term() > best->term())) {
+      best = node.get();
+    }
+  }
+  return best;
+}
+
+std::optional<int> KvStoreCluster::LeaderRank() const {
+  const KvNode* leader = Leader();
+  if (leader == nullptr) {
+    return std::nullopt;
+  }
+  return leader->rank();
+}
+
+void KvStoreCluster::Put(const std::string& key, const std::string& value, LeaseId lease,
+                         ProposeCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kPut;
+  op.key = key;
+  op.value = value;
+  op.lease = lease;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
+void KvStoreCluster::PutIfAbsent(const std::string& key, const std::string& value, LeaseId lease,
+                                 ProposeCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kPut;
+  op.key = key;
+  op.value = value;
+  op.lease = lease;
+  op.if_absent = true;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
+void KvStoreCluster::Delete(const std::string& key, ProposeCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kDelete;
+  op.key = key;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
+void KvStoreCluster::LeaseGrant(TimeNs ttl, LeaseCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kLeaseGrant;
+  op.ttl = ttl;
+  op.issue_time = sim_.now();
+  // The lease id is assigned deterministically at apply time; the leader
+  // records it per log index so the grant callback can report it.
+  KvNode* node = leader;
+  const uint64_t index_hint = node->LastLogIndex() + 1;
+  leader->Propose(std::move(op), [node, index_hint, done = std::move(done)](Status status) {
+    if (!status.ok()) {
+      done(std::move(status));
+      return;
+    }
+    const std::optional<KvEntry> entry = node->GetApplied("__lease_index/" +
+                                                          std::to_string(index_hint));
+    if (!entry.has_value()) {
+      done(InternalError("lease grant applied but id not recorded"));
+      return;
+    }
+    done(static_cast<LeaseId>(std::stoull(entry->value)));
+  });
+}
+
+void KvStoreCluster::LeaseKeepAlive(LeaseId lease, ProposeCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kLeaseKeepAlive;
+  op.lease = lease;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
+void KvStoreCluster::LeaseRevoke(LeaseId lease, ProposeCallback done) {
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kLeaseRevoke;
+  op.lease = lease;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
+StatusOr<KvEntry> KvStoreCluster::Get(const std::string& key) const {
+  const KvNode* leader = Leader();
+  if (leader == nullptr) {
+    return UnavailableError("kvstore: no leader");
+  }
+  const std::optional<KvEntry> entry = leader->GetApplied(key);
+  if (!entry.has_value()) {
+    return NotFoundError("key not found: " + key);
+  }
+  return *entry;
+}
+
+std::map<std::string, KvEntry> KvStoreCluster::List(const std::string& prefix) const {
+  const KvNode* leader = Leader();
+  if (leader == nullptr) {
+    return {};
+  }
+  return leader->ListApplied(prefix);
+}
+
+uint64_t KvStoreCluster::Watch(const std::string& prefix, WatchCallback callback) {
+  const uint64_t id = next_watch_id_++;
+  watches_[id] = WatchReg{prefix, std::move(callback)};
+  return id;
+}
+
+void KvStoreCluster::CancelWatch(uint64_t watch_id) { watches_.erase(watch_id); }
+
+void KvStoreCluster::EmitWatchEvents(const std::vector<WatchEvent>& events) {
+  if (events.empty() || watches_.empty()) {
+    return;
+  }
+  for (const WatchEvent& event : events) {
+    for (const auto& [id, reg] : watches_) {
+      if (event.key.rfind(reg.prefix, 0) == 0) {
+        // Deliver asynchronously with control-plane latency so watchers never
+        // observe state "before" it was committed.
+        WatchCallback cb = reg.callback;
+        WatchEvent copy = event;
+        sim_.ScheduleAfter(fabric_.config().control_delay,
+                           [cb = std::move(cb), copy = std::move(copy)] { cb(copy); });
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KvNode
+// ---------------------------------------------------------------------------
+
+KvNode::KvNode(KvStoreCluster& cluster, int index, int rank, uint64_t seed)
+    : cluster_(cluster), index_(index), rank_(rank), rng_(seed) {
+  const size_t n = cluster_.server_ranks_.size();
+  next_index_.assign(n, 1);
+  match_index_.assign(n, 0);
+}
+
+bool KvNode::alive() const { return cluster_.alive_(rank_); }
+
+void KvNode::Start() { ResetElectionTimer(); }
+
+void KvNode::ResetAndRestart() {
+  role_ = Role::kFollower;
+  term_ = 0;
+  voted_for_.reset();
+  votes_received_ = 0;
+  leader_index_.reset();
+  log_.clear();
+  commit_index_ = 0;
+  last_applied_ = 0;
+  pending_proposals_.clear();
+  state_.clear();
+  leases_.clear();
+  next_lease_id_ = 1;
+  if (heartbeat_timer_.valid()) {
+    cluster_.sim_.Cancel(heartbeat_timer_);
+    heartbeat_timer_ = EventId{};
+  }
+  ResetElectionTimer();
+}
+
+void KvNode::Send(int peer_index, std::function<void()> handler) {
+  const int peer_rank = cluster_.server_ranks_[static_cast<size_t>(peer_index)];
+  cluster_.fabric_.SendControl(rank_, peer_rank, std::move(handler));
+}
+
+void KvNode::ResetElectionTimer() {
+  if (election_timer_.valid()) {
+    cluster_.sim_.Cancel(election_timer_);
+  }
+  const TimeNs timeout = rng_.UniformInt(cluster_.config_.election_timeout_min,
+                                         cluster_.config_.election_timeout_max);
+  election_timer_ = cluster_.sim_.ScheduleAfter(timeout, [this] { OnElectionTimeout(); });
+}
+
+void KvNode::OnElectionTimeout() {
+  election_timer_ = EventId{};
+  if (!alive()) {
+    // A dead machine keeps its timer silent; if the machine is later replaced
+    // the node restarts via Start().
+    return;
+  }
+  if (role_ != Role::kLeader) {
+    StartElection();
+  }
+  ResetElectionTimer();
+}
+
+void KvNode::StartElection() {
+  role_ = Role::kCandidate;
+  ++term_;
+  voted_for_ = index_;
+  votes_received_ = 1;
+  leader_index_.reset();
+  // A single-node cluster wins with its own vote.
+  if (votes_received_ >= static_cast<int>(cluster_.server_ranks_.size()) / 2 + 1) {
+    BecomeLeader();
+    return;
+  }
+  GEMINI_LOG(kDebug) << "kv node " << index_ << " starts election for term " << term_;
+  const uint64_t term = term_;
+  const uint64_t last_index = LastLogIndex();
+  const uint64_t last_term = LastLogTerm();
+  for (size_t peer = 0; peer < cluster_.server_ranks_.size(); ++peer) {
+    if (static_cast<int>(peer) == index_) {
+      continue;
+    }
+    KvNode* target = cluster_.nodes_[peer].get();
+    Send(static_cast<int>(peer), [target, term, self = index_, last_index, last_term] {
+      target->OnRequestVote(term, self, last_index, last_term);
+    });
+  }
+}
+
+void KvNode::OnRequestVote(uint64_t term, int candidate, uint64_t last_log_index,
+                           uint64_t last_log_term) {
+  if (!alive()) {
+    return;
+  }
+  if (term > term_) {
+    BecomeFollower(term);
+  }
+  bool granted = false;
+  if (term == term_ && (!voted_for_.has_value() || *voted_for_ == candidate)) {
+    // Vote safety: candidate's log must be at least as up-to-date.
+    const bool up_to_date = last_log_term > LastLogTerm() ||
+                            (last_log_term == LastLogTerm() && last_log_index >= LastLogIndex());
+    if (up_to_date) {
+      granted = true;
+      voted_for_ = candidate;
+      ResetElectionTimer();
+    }
+  }
+  KvNode* target = cluster_.nodes_[static_cast<size_t>(candidate)].get();
+  const uint64_t reply_term = term_;
+  Send(candidate, [target, reply_term, granted] {
+    target->OnRequestVoteReply(reply_term, granted);
+  });
+}
+
+void KvNode::OnRequestVoteReply(uint64_t term, bool granted) {
+  if (!alive()) {
+    return;
+  }
+  if (term > term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != Role::kCandidate || term != term_) {
+    return;
+  }
+  if (granted) {
+    ++votes_received_;
+    const int majority = static_cast<int>(cluster_.server_ranks_.size()) / 2 + 1;
+    if (votes_received_ >= majority) {
+      BecomeLeader();
+    }
+  }
+}
+
+void KvNode::BecomeFollower(uint64_t term) {
+  role_ = Role::kFollower;
+  term_ = term;
+  voted_for_.reset();
+  votes_received_ = 0;
+  if (heartbeat_timer_.valid()) {
+    cluster_.sim_.Cancel(heartbeat_timer_);
+    heartbeat_timer_ = EventId{};
+  }
+  // Any in-flight proposals this node accepted as a deposed leader may still
+  // commit later; their callbacks are answered pessimistically so callers
+  // retry (idempotent ops make this safe, matching etcd client behaviour).
+  for (auto& [index, done] : pending_proposals_) {
+    done(UnavailableError("kvstore: leadership lost before commit"));
+  }
+  pending_proposals_.clear();
+}
+
+void KvNode::BecomeLeader() {
+  GEMINI_LOG(kDebug) << "kv node " << index_ << " becomes leader for term " << term_;
+  role_ = Role::kLeader;
+  leader_index_ = index_;
+  const size_t n = cluster_.server_ranks_.size();
+  next_index_.assign(n, LastLogIndex() + 1);
+  match_index_.assign(n, 0);
+  match_index_[static_cast<size_t>(index_)] = LastLogIndex();
+  OnHeartbeatTick();
+}
+
+void KvNode::OnHeartbeatTick() {
+  heartbeat_timer_ = EventId{};
+  if (!alive() || role_ != Role::kLeader) {
+    return;
+  }
+  ExpireLeases();
+  for (size_t peer = 0; peer < cluster_.server_ranks_.size(); ++peer) {
+    if (static_cast<int>(peer) != index_) {
+      ReplicateTo(static_cast<int>(peer));
+    }
+  }
+  heartbeat_timer_ = cluster_.sim_.ScheduleAfter(cluster_.config_.heartbeat_interval,
+                                                 [this] { OnHeartbeatTick(); });
+}
+
+void KvNode::ReplicateTo(int peer_index) {
+  const uint64_t next = next_index_[static_cast<size_t>(peer_index)];
+  const uint64_t prev_index = next - 1;
+  const uint64_t prev_term = prev_index == 0 ? 0 : log_[prev_index - 1].term;
+  std::vector<LogEntry> entries(log_.begin() + static_cast<std::ptrdiff_t>(prev_index),
+                                log_.end());
+  KvNode* target = cluster_.nodes_[static_cast<size_t>(peer_index)].get();
+  const uint64_t term = term_;
+  const int self = index_;
+  const uint64_t commit = commit_index_;
+  Send(peer_index,
+       [target, term, self, prev_index, prev_term, entries = std::move(entries), commit] {
+         target->OnAppendEntries(term, self, prev_index, prev_term, entries, commit);
+       });
+}
+
+void KvNode::OnAppendEntries(uint64_t term, int leader, uint64_t prev_index, uint64_t prev_term,
+                             std::vector<LogEntry> entries, uint64_t leader_commit) {
+  if (!alive()) {
+    return;
+  }
+  if (term > term_) {
+    BecomeFollower(term);
+  }
+  bool success = false;
+  uint64_t match = 0;
+  if (term == term_) {
+    if (role_ == Role::kCandidate) {
+      BecomeFollower(term);
+    }
+    leader_index_ = leader;
+    ResetElectionTimer();
+    const bool prev_ok =
+        prev_index == 0 || (prev_index <= LastLogIndex() && log_[prev_index - 1].term == prev_term);
+    if (prev_ok) {
+      // Truncate any conflicting suffix and append.
+      uint64_t insert = prev_index;
+      for (auto& entry : entries) {
+        if (insert < LastLogIndex()) {
+          if (log_[insert].term != entry.term) {
+            log_.resize(insert);
+            log_.push_back(std::move(entry));
+          }
+          // else: already present, keep it.
+        } else {
+          log_.push_back(std::move(entry));
+        }
+        ++insert;
+      }
+      success = true;
+      match = insert;
+      if (leader_commit > commit_index_) {
+        commit_index_ = std::min(leader_commit, LastLogIndex());
+        ApplyCommitted();
+      }
+    } else {
+      // Hint the leader where our log ends so walk-back is O(1).
+      match = LastLogIndex();
+    }
+  } else {
+    match = LastLogIndex();
+  }
+  KvNode* target = cluster_.nodes_[static_cast<size_t>(leader)].get();
+  const uint64_t reply_term = term_;
+  const int self = index_;
+  Send(leader, [target, self, reply_term, success, match] {
+    target->OnAppendEntriesReply(self, reply_term, success, match);
+  });
+}
+
+void KvNode::OnAppendEntriesReply(int from, uint64_t term, bool success, uint64_t match_index) {
+  if (!alive()) {
+    return;
+  }
+  if (term > term_) {
+    BecomeFollower(term);
+    return;
+  }
+  if (role_ != Role::kLeader || term != term_) {
+    return;
+  }
+  if (success) {
+    match_index_[static_cast<size_t>(from)] =
+        std::max(match_index_[static_cast<size_t>(from)], match_index);
+    next_index_[static_cast<size_t>(from)] = match_index_[static_cast<size_t>(from)] + 1;
+    AdvanceCommit();
+  } else {
+    // Walk next_index back using the follower's hint.
+    const uint64_t hint_next = match_index + 1;
+    uint64_t& next = next_index_[static_cast<size_t>(from)];
+    next = std::max<uint64_t>(1, std::min(next - 1, hint_next));
+    ReplicateTo(from);
+  }
+}
+
+void KvNode::AdvanceCommit() {
+  const size_t n = cluster_.server_ranks_.size();
+  const int majority = static_cast<int>(n) / 2 + 1;
+  for (uint64_t candidate = LastLogIndex(); candidate > commit_index_; --candidate) {
+    // Raft commit rule: only entries of the current term commit by counting.
+    if (log_[candidate - 1].term != term_) {
+      break;
+    }
+    int replicas = 0;
+    for (size_t peer = 0; peer < n; ++peer) {
+      if (match_index_[peer] >= candidate) {
+        ++replicas;
+      }
+    }
+    if (replicas >= majority) {
+      commit_index_ = candidate;
+      ApplyCommitted();
+      break;
+    }
+  }
+}
+
+void KvNode::ApplyCommitted() {
+  std::vector<WatchEvent> all_events;
+  while (last_applied_ < commit_index_) {
+    ++last_applied_;
+    const KvOp& op = log_[last_applied_ - 1].op;
+    std::vector<WatchEvent> events = ApplyOp(op, last_applied_);
+    all_events.insert(all_events.end(), events.begin(), events.end());
+    auto pending = pending_proposals_.find(last_applied_);
+    if (pending != pending_proposals_.end()) {
+      pending->second(Status::Ok());
+      pending_proposals_.erase(pending);
+    }
+  }
+  // Watch events are emitted by the leader only, so the cluster sees each
+  // commit once per stable leadership.
+  if (role_ == Role::kLeader && !all_events.empty()) {
+    cluster_.EmitWatchEvents(all_events);
+  }
+}
+
+std::vector<WatchEvent> KvNode::ApplyOp(const KvOp& op, uint64_t index) {
+  std::vector<WatchEvent> events;
+  switch (op.type) {
+    case KvOpType::kPut: {
+      if (op.if_absent && state_.contains(op.key)) {
+        break;  // Key exists: the conditional put is a committed no-op.
+      }
+      KvEntry& entry = state_[op.key];
+      // Re-attaching to a different lease moves the key between leases.
+      if (entry.lease != kNoLease && entry.lease != op.lease) {
+        auto lease = leases_.find(entry.lease);
+        if (lease != leases_.end()) {
+          auto& keys = lease->second.keys;
+          keys.erase(std::remove(keys.begin(), keys.end(), op.key), keys.end());
+        }
+      }
+      entry.value = op.value;
+      entry.mod_index = index;
+      entry.lease = op.lease;
+      if (op.lease != kNoLease) {
+        auto lease = leases_.find(op.lease);
+        if (lease != leases_.end()) {
+          auto& keys = lease->second.keys;
+          if (std::find(keys.begin(), keys.end(), op.key) == keys.end()) {
+            keys.push_back(op.key);
+          }
+        }
+      }
+      events.push_back(WatchEvent{WatchEventType::kPut, op.key, op.value});
+      break;
+    }
+    case KvOpType::kDelete: {
+      auto it = state_.find(op.key);
+      if (it != state_.end()) {
+        events.push_back(WatchEvent{WatchEventType::kDelete, op.key, it->second.value});
+        state_.erase(it);
+      }
+      break;
+    }
+    case KvOpType::kLeaseGrant: {
+      const LeaseId id = next_lease_id_++;
+      LeaseState lease;
+      lease.ttl = op.ttl;
+      lease.deadline = op.issue_time + op.ttl;
+      leases_[id] = std::move(lease);
+      // Deterministically expose the id so the granting leader can report it.
+      KvEntry& marker = state_["__lease_index/" + std::to_string(index)];
+      marker.value = std::to_string(id);
+      marker.mod_index = index;
+      break;
+    }
+    case KvOpType::kLeaseKeepAlive: {
+      auto lease = leases_.find(op.lease);
+      if (lease != leases_.end()) {
+        lease->second.deadline = op.issue_time + lease->second.ttl;
+      }
+      break;
+    }
+    case KvOpType::kLeaseRevoke: {
+      auto lease = leases_.find(op.lease);
+      if (lease != leases_.end()) {
+        for (const std::string& key : lease->second.keys) {
+          auto it = state_.find(key);
+          if (it != state_.end() && it->second.lease == op.lease) {
+            events.push_back(WatchEvent{WatchEventType::kExpired, key, it->second.value});
+            state_.erase(it);
+          }
+        }
+        leases_.erase(lease);
+      }
+      break;
+    }
+  }
+  return events;
+}
+
+void KvNode::ExpireLeases() {
+  const TimeNs now = cluster_.sim_.now();
+  for (const auto& [id, lease] : leases_) {
+    if (lease.deadline < now) {
+      KvOp op;
+      op.type = KvOpType::kLeaseRevoke;
+      op.lease = id;
+      op.issue_time = now;
+      // Duplicate revocations are harmless: the second apply finds no lease.
+      Propose(std::move(op), [](Status) {});
+      // Propose mutates the log; restart scanning next tick.
+      break;
+    }
+  }
+}
+
+void KvNode::Propose(KvOp op, std::function<void(Status)> done) {
+  if (!alive()) {
+    done(UnavailableError("kvstore: node is down"));
+    return;
+  }
+  if (role_ != Role::kLeader) {
+    done(UnavailableError("kvstore: not leader"));
+    return;
+  }
+  log_.push_back(LogEntry{term_, std::move(op)});
+  const uint64_t index = LastLogIndex();
+  match_index_[static_cast<size_t>(index_)] = index;
+  pending_proposals_[index] = std::move(done);
+  for (size_t peer = 0; peer < cluster_.server_ranks_.size(); ++peer) {
+    if (static_cast<int>(peer) != index_) {
+      ReplicateTo(static_cast<int>(peer));
+    }
+  }
+  // Single-node cluster commits immediately.
+  AdvanceCommit();
+}
+
+std::optional<KvEntry> KvNode::GetApplied(const std::string& key) const {
+  auto it = state_.find(key);
+  if (it == state_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::map<std::string, KvEntry> KvNode::ListApplied(const std::string& prefix) const {
+  std::map<std::string, KvEntry> out;
+  for (auto it = state_.lower_bound(prefix); it != state_.end(); ++it) {
+    if (it->first.rfind(prefix, 0) != 0) {
+      break;
+    }
+    out.emplace(it->first, it->second);
+  }
+  return out;
+}
+
+}  // namespace gemini

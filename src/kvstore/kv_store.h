@@ -1,0 +1,223 @@
+// Replicated key-value store with Raft-style leader election and log
+// replication, plus etcd-style leases and watches.
+//
+// This is the substrate standing in for etcd (Section 3.2 of the paper): the
+// GEMINI worker agents publish heartbeat-leased health keys here, the root
+// agent scans them, and root-machine failover uses the store's election
+// primitive.
+//
+// Consensus scope: full Raft leader election (terms, randomized timeouts,
+// vote safety via last-log checks) and log replication with commit on
+// majority. Log divergence repair uses the match-index walk-back; snapshots
+// are unnecessary because logs stay small at simulation scale. Reads are
+// served by the leader from applied state.
+#ifndef SRC_KVSTORE_KV_STORE_H_
+#define SRC_KVSTORE_KV_STORE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/fabric.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/kvstore/kv_types.h"
+#include "src/sim/simulator.h"
+
+namespace gemini {
+
+struct KvStoreConfig {
+  TimeNs heartbeat_interval = Millis(100);
+  // Election timeouts are drawn uniformly from [min, max] per node.
+  TimeNs election_timeout_min = Millis(500);
+  TimeNs election_timeout_max = Millis(1000);
+};
+
+class KvNode;
+
+// The cluster of KV nodes. Owns all nodes, the watch registry, and routing.
+class KvStoreCluster {
+ public:
+  // One node per entry of `server_ranks`, communicating over `fabric`
+  // control messages. `alive` gates message processing so that machine
+  // failures silently stop a node (matching a crashed etcd member).
+  KvStoreCluster(Simulator& sim, Fabric& fabric, std::vector<int> server_ranks,
+                 std::function<bool(int rank)> alive, KvStoreConfig config, uint64_t seed);
+  ~KvStoreCluster();
+
+  KvStoreCluster(const KvStoreCluster&) = delete;
+  KvStoreCluster& operator=(const KvStoreCluster&) = delete;
+
+  // Starts all nodes' timers (election timers armed immediately).
+  void Start();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<int>& server_ranks() const { return server_ranks_; }
+
+  // Rank of the current leader, or nullopt if no node currently leads.
+  std::optional<int> LeaderRank() const;
+
+  // ---- Client API -------------------------------------------------------
+  // Calls are routed to the current leader; they fail with kUnavailable when
+  // no leader exists (callers retry, as etcd clients do). Completion
+  // callbacks fire after replication commits the op (majority ack).
+
+  using ProposeCallback = std::function<void(Status)>;
+  void Put(const std::string& key, const std::string& value, LeaseId lease,
+           ProposeCallback done);
+  // Election primitive: the put applies only when the key is absent; callers
+  // Get() afterwards to learn the winner.
+  void PutIfAbsent(const std::string& key, const std::string& value, LeaseId lease,
+                   ProposeCallback done);
+  void Delete(const std::string& key, ProposeCallback done);
+
+  using LeaseCallback = std::function<void(StatusOr<LeaseId>)>;
+  void LeaseGrant(TimeNs ttl, LeaseCallback done);
+  void LeaseKeepAlive(LeaseId lease, ProposeCallback done);
+  void LeaseRevoke(LeaseId lease, ProposeCallback done);
+
+  // Linearizable-enough read from the leader's applied state.
+  StatusOr<KvEntry> Get(const std::string& key) const;
+  // All applied entries whose key starts with `prefix`.
+  std::map<std::string, KvEntry> List(const std::string& prefix) const;
+
+  // Registers a watch on a key prefix. Events are emitted when ops commit.
+  // Delivery is at-least-once across leader changes. Returns a watch id.
+  uint64_t Watch(const std::string& prefix, WatchCallback callback);
+  void CancelWatch(uint64_t watch_id);
+
+  // ---- Introspection (tests) --------------------------------------------
+  const KvNode& node(int index) const { return *nodes_.at(static_cast<size_t>(index)); }
+  KvNode& node(int index) { return *nodes_.at(static_cast<size_t>(index)); }
+
+ private:
+  friend class KvNode;
+
+  KvNode* Leader() const;
+  void EmitWatchEvents(const std::vector<WatchEvent>& events);
+
+  Simulator& sim_;
+  Fabric& fabric_;
+  std::vector<int> server_ranks_;
+  std::function<bool(int)> alive_;
+  KvStoreConfig config_;
+  std::vector<std::unique_ptr<KvNode>> nodes_;
+  uint64_t next_watch_id_ = 1;
+  struct WatchReg {
+    std::string prefix;
+    WatchCallback callback;
+  };
+  std::map<uint64_t, WatchReg> watches_;
+};
+
+// One Raft participant. Public for tests; application code uses the cluster.
+class KvNode {
+ public:
+  enum class Role { kFollower, kCandidate, kLeader };
+
+  KvNode(KvStoreCluster& cluster, int index, int rank, uint64_t seed);
+
+  void Start();
+
+  // Rejoins the cluster with empty state after its machine was replaced; the
+  // node catches up from the leader via the AppendEntries walk-back. (Real
+  // etcd would use a membership change; wiping state is the simulation-scale
+  // equivalent.)
+  void ResetAndRestart();
+
+  Role role() const { return role_; }
+  uint64_t term() const { return term_; }
+  int rank() const { return rank_; }
+  bool alive() const;
+  uint64_t commit_index() const { return commit_index_; }
+  uint64_t last_applied() const { return last_applied_; }
+  const std::map<std::string, KvEntry>& applied_state() const { return state_; }
+
+  // Leader-side entry point used by the cluster client API.
+  void Propose(KvOp op, std::function<void(Status)> done);
+
+  // Applied-state lookups (valid on any node; the cluster queries the
+  // leader's).
+  std::optional<KvEntry> GetApplied(const std::string& key) const;
+  std::map<std::string, KvEntry> ListApplied(const std::string& prefix) const;
+
+ private:
+  friend class KvStoreCluster;
+
+  struct LogEntry {
+    uint64_t term = 0;
+    KvOp op;
+  };
+
+  struct LeaseState {
+    TimeNs deadline = 0;
+    TimeNs ttl = 0;
+    std::vector<std::string> keys;
+  };
+
+  // -- Message handlers (invoked via fabric control messages). --
+  void OnRequestVote(uint64_t term, int candidate, uint64_t last_log_index,
+                     uint64_t last_log_term);
+  void OnRequestVoteReply(uint64_t term, bool granted);
+  void OnAppendEntries(uint64_t term, int leader, uint64_t prev_index, uint64_t prev_term,
+                       std::vector<LogEntry> entries, uint64_t leader_commit);
+  void OnAppendEntriesReply(int from, uint64_t term, bool success, uint64_t match_index);
+
+  // -- Timers --
+  void ResetElectionTimer();
+  void OnElectionTimeout();
+  void OnHeartbeatTick();
+
+  void BecomeFollower(uint64_t term);
+  void BecomeLeader();
+  void StartElection();
+  void ReplicateTo(int peer_index);
+  void AdvanceCommit();
+  void ApplyCommitted();
+  // Applies one op to the state machine; returns watch events it produced.
+  std::vector<WatchEvent> ApplyOp(const KvOp& op, uint64_t index);
+  // Leader-only: proposes revocations for expired leases.
+  void ExpireLeases();
+
+  void Send(int peer_index, std::function<void()> handler);
+
+  uint64_t LastLogIndex() const { return static_cast<uint64_t>(log_.size()); }
+  uint64_t LastLogTerm() const { return log_.empty() ? 0 : log_.back().term; }
+
+  KvStoreCluster& cluster_;
+  int index_;
+  int rank_;
+  Rng rng_;
+
+  Role role_ = Role::kFollower;
+  uint64_t term_ = 0;
+  std::optional<int> voted_for_;
+  int votes_received_ = 0;
+  std::optional<int> leader_index_;
+
+  // Log is 1-indexed externally: log_[i-1] holds index i.
+  std::vector<LogEntry> log_;
+  uint64_t commit_index_ = 0;
+  uint64_t last_applied_ = 0;
+
+  // Leader state.
+  std::vector<uint64_t> next_index_;
+  std::vector<uint64_t> match_index_;
+  // Completion callbacks for proposals awaiting commit, by log index.
+  std::map<uint64_t, std::function<void(Status)>> pending_proposals_;
+
+  // Applied state machine.
+  std::map<std::string, KvEntry> state_;
+  std::map<LeaseId, LeaseState> leases_;
+  LeaseId next_lease_id_ = 1;
+
+  EventId election_timer_{};
+  EventId heartbeat_timer_{};
+};
+
+}  // namespace gemini
+
+#endif  // SRC_KVSTORE_KV_STORE_H_

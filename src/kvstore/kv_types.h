@@ -1,0 +1,65 @@
+// Shared types for the replicated key-value store (the etcd stand-in used by
+// GEMINI's failure-recovery module for health status, failure detection, and
+// root-agent election).
+#ifndef SRC_KVSTORE_KV_TYPES_H_
+#define SRC_KVSTORE_KV_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace gemini {
+
+using LeaseId = uint64_t;
+inline constexpr LeaseId kNoLease = 0;
+
+enum class KvOpType {
+  kPut,
+  kDelete,
+  // Creates a lease with a TTL; keys attached to it are deleted on expiry.
+  kLeaseGrant,
+  // Refreshes a lease's deadline.
+  kLeaseKeepAlive,
+  // Revokes a lease (explicitly or on expiry), deleting attached keys.
+  kLeaseRevoke,
+};
+
+// One replicated state-machine command. The leader stamps `issue_time` so all
+// replicas compute identical lease deadlines when applying the op.
+struct KvOp {
+  KvOpType type = KvOpType::kPut;
+  std::string key;
+  std::string value;
+  LeaseId lease = kNoLease;
+  TimeNs ttl = 0;
+  TimeNs issue_time = 0;
+  // For kPut: only apply when the key does not exist (etcd-style election
+  // primitive; losers observe the winner's value afterwards).
+  bool if_absent = false;
+};
+
+struct KvEntry {
+  std::string value;
+  LeaseId lease = kNoLease;
+  // Raft log index of the last write; exposes etcd-style mod revisions.
+  uint64_t mod_index = 0;
+};
+
+enum class WatchEventType { kPut, kDelete, kExpired };
+
+struct WatchEvent {
+  WatchEventType type = WatchEventType::kPut;
+  std::string key;
+  std::string value;  // New value for kPut; previous value for deletes.
+};
+
+using WatchCallback = std::function<void(const WatchEvent&)>;
+
+}  // namespace gemini
+
+#endif  // SRC_KVSTORE_KV_TYPES_H_

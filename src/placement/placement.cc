@@ -1,0 +1,172 @@
+#include "src/placement/placement.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gemini {
+
+std::string_view PlacementStrategyName(PlacementStrategy strategy) {
+  switch (strategy) {
+    case PlacementStrategy::kGroup:
+      return "group";
+    case PlacementStrategy::kRing:
+      return "ring";
+    case PlacementStrategy::kMixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+std::vector<int> PlacementPlan::RemoteDestinations(int machine) const {
+  std::vector<int> out;
+  for (const int holder : replica_sets.at(static_cast<size_t>(machine))) {
+    if (holder != machine) {
+      out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+std::vector<int> PlacementPlan::AliveRemoteHolders(int owner,
+                                                   const std::vector<bool>& machine_alive) const {
+  std::vector<int> out;
+  for (const int holder : replica_sets.at(static_cast<size_t>(owner))) {
+    if (holder != owner && machine_alive.at(static_cast<size_t>(holder))) {
+      out.push_back(holder);
+    }
+  }
+  return out;
+}
+
+bool PlacementPlan::Recoverable(const std::vector<bool>& machine_failed) const {
+  assert(static_cast<int>(machine_failed.size()) == num_machines);
+  for (const auto& holders : replica_sets) {
+    bool any_alive = false;
+    for (const int holder : holders) {
+      if (!machine_failed[static_cast<size_t>(holder)]) {
+        any_alive = true;
+        break;
+      }
+    }
+    if (!any_alive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+Status ValidateArgs(int num_machines, int num_replicas) {
+  if (num_machines < 1) {
+    return InvalidArgumentError("placement requires at least one machine");
+  }
+  if (num_replicas < 1 || num_replicas > num_machines) {
+    return InvalidArgumentError("replica count must be in [1, num_machines]");
+  }
+  return Status::Ok();
+}
+
+// Fills replica sets for a ring over `members`: each member replicates to
+// its m-1 successors within the ring.
+void ApplyRingSection(const std::vector<int>& members, int num_replicas, PlacementPlan& plan) {
+  const int length = static_cast<int>(members.size());
+  for (int j = 0; j < length; ++j) {
+    auto& holders = plan.replica_sets[static_cast<size_t>(members[static_cast<size_t>(j)])];
+    holders.clear();
+    for (int offset = 0; offset < num_replicas; ++offset) {
+      holders.push_back(members[static_cast<size_t>((j + offset) % length)]);
+    }
+  }
+}
+
+// Fills replica sets for a fully-connected group: everyone holds everyone.
+void ApplyGroupSection(const std::vector<int>& members, PlacementPlan& plan) {
+  for (const int machine : members) {
+    auto& holders = plan.replica_sets[static_cast<size_t>(machine)];
+    holders.clear();
+    holders.push_back(machine);  // Local replica first.
+    for (const int peer : members) {
+      if (peer != machine) {
+        holders.push_back(peer);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<PlacementPlan> BuildGroupPlacement(int num_machines, int num_replicas) {
+  GEMINI_RETURN_IF_ERROR(ValidateArgs(num_machines, num_replicas));
+  if (num_machines % num_replicas != 0) {
+    return InvalidArgumentError("group placement requires num_replicas to divide num_machines");
+  }
+  PlacementPlan plan;
+  plan.num_machines = num_machines;
+  plan.num_replicas = num_replicas;
+  plan.strategy = PlacementStrategy::kGroup;
+  plan.replica_sets.resize(static_cast<size_t>(num_machines));
+  for (int start = 0; start < num_machines; start += num_replicas) {
+    std::vector<int> group;
+    for (int j = 0; j < num_replicas; ++j) {
+      group.push_back(start + j);
+    }
+    ApplyGroupSection(group, plan);
+    plan.groups.push_back(std::move(group));
+  }
+  return plan;
+}
+
+StatusOr<PlacementPlan> BuildRingPlacement(int num_machines, int num_replicas) {
+  GEMINI_RETURN_IF_ERROR(ValidateArgs(num_machines, num_replicas));
+  PlacementPlan plan;
+  plan.num_machines = num_machines;
+  plan.num_replicas = num_replicas;
+  plan.strategy = PlacementStrategy::kRing;
+  plan.replica_sets.resize(static_cast<size_t>(num_machines));
+  std::vector<int> everyone;
+  for (int i = 0; i < num_machines; ++i) {
+    everyone.push_back(i);
+  }
+  ApplyRingSection(everyone, num_replicas, plan);
+  plan.groups.push_back(std::move(everyone));
+  return plan;
+}
+
+StatusOr<PlacementPlan> BuildMixedPlacement(int num_machines, int num_replicas) {
+  GEMINI_RETURN_IF_ERROR(ValidateArgs(num_machines, num_replicas));
+  if (num_machines % num_replicas == 0) {
+    // Algorithm 1: divisible case degenerates to pure group placement.
+    GEMINI_ASSIGN_OR_RETURN(PlacementPlan plan,
+                            BuildGroupPlacement(num_machines, num_replicas));
+    plan.strategy = PlacementStrategy::kMixed;
+    return plan;
+  }
+
+  PlacementPlan plan;
+  plan.num_machines = num_machines;
+  plan.num_replicas = num_replicas;
+  plan.strategy = PlacementStrategy::kMixed;
+  plan.replica_sets.resize(static_cast<size_t>(num_machines));
+
+  // First floor(N/m) - 1 groups use group placement; the remaining
+  // N - m*(floor(N/m) - 1) machines form one ring (Algorithm 1 lines 12-17).
+  const int full_groups = num_machines / num_replicas - 1;
+  for (int g = 0; g < full_groups; ++g) {
+    std::vector<int> group;
+    for (int j = 0; j < num_replicas; ++j) {
+      group.push_back(g * num_replicas + j);
+    }
+    ApplyGroupSection(group, plan);
+    plan.groups.push_back(std::move(group));
+  }
+  std::vector<int> tail;
+  for (int machine = full_groups * num_replicas; machine < num_machines; ++machine) {
+    tail.push_back(machine);
+  }
+  ApplyRingSection(tail, num_replicas, plan);
+  plan.groups.push_back(std::move(tail));
+  return plan;
+}
+
+}  // namespace gemini

@@ -1,0 +1,67 @@
+// Checkpoint placement strategies (paper Section 4, Algorithm 1).
+//
+// Given N machines and m checkpoint replicas, a placement assigns each
+// machine the set of machines storing its checkpoint (always including
+// itself as the local replica). The paper proves the *group* strategy
+// optimal when m | N, and the *mixed* strategy (groups + one trailing ring)
+// near-optimal otherwise, with the probability gap bounded by
+// (2m-3)/C(N,m).
+#ifndef SRC_PLACEMENT_PLACEMENT_H_
+#define SRC_PLACEMENT_PLACEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gemini {
+
+enum class PlacementStrategy {
+  // Disjoint groups of m machines replicating to each other (requires m | N).
+  kGroup,
+  // Every machine replicates to its m-1 ring successors.
+  kRing,
+  // Algorithm 1: groups for the first m*(floor(N/m)-1) machines, ring over
+  // the remainder. Equals kGroup when m | N.
+  kMixed,
+};
+
+std::string_view PlacementStrategyName(PlacementStrategy strategy);
+
+struct PlacementPlan {
+  int num_machines = 0;
+  int num_replicas = 0;
+  PlacementStrategy strategy = PlacementStrategy::kMixed;
+  // Machine groups as produced by Algorithm 1 (group placement sections are
+  // disjoint m-sized groups; a trailing ring section is one larger group).
+  std::vector<std::vector<int>> groups;
+  // replica_sets[i] = the machines holding machine i's checkpoint, starting
+  // with i itself (the local replica).
+  std::vector<std::vector<int>> replica_sets;
+
+  // Destinations machine i sends its checkpoint to (replica set minus self).
+  std::vector<int> RemoteDestinations(int machine) const;
+
+  // Machines other than `owner` holding `owner`'s checkpoint that are alive
+  // according to the predicate.
+  std::vector<int> AliveRemoteHolders(int owner,
+                                      const std::vector<bool>& machine_alive) const;
+
+  // True when every machine's checkpoint survives the failure of exactly the
+  // machines marked failed (i.e. for each machine, at least one replica
+  // holder is alive). This is the CPU-memory recoverability condition.
+  bool Recoverable(const std::vector<bool>& machine_failed) const;
+};
+
+// Algorithm 1 (mixed strategy). Requires 1 <= m <= N.
+StatusOr<PlacementPlan> BuildMixedPlacement(int num_machines, int num_replicas);
+
+// Pure group placement; requires m | N.
+StatusOr<PlacementPlan> BuildGroupPlacement(int num_machines, int num_replicas);
+
+// Pure ring placement (the paper's baseline comparison, Fig. 3b / Fig. 9).
+StatusOr<PlacementPlan> BuildRingPlacement(int num_machines, int num_replicas);
+
+}  // namespace gemini
+
+#endif  // SRC_PLACEMENT_PLACEMENT_H_

@@ -1,0 +1,132 @@
+#include "src/placement/probability.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace gemini {
+
+double BinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) {
+    return 0.0;
+  }
+  k = std::min(k, n - k);
+  double result = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i);
+    result /= static_cast<double>(i);
+  }
+  return result;
+}
+
+int64_t ForEachCombination(int n, int k,
+                           const std::function<bool(const std::vector<int>&)>& visit) {
+  assert(k >= 0 && k <= n);
+  std::vector<int> combo(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    combo[static_cast<size_t>(i)] = i;
+  }
+  int64_t visited = 0;
+  if (k == 0) {
+    return visit(combo) ? 1 : -1;
+  }
+  while (true) {
+    ++visited;
+    if (!visit(combo)) {
+      return -1;
+    }
+    // Advance to the next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && combo[static_cast<size_t>(i)] == n - k + i) {
+      --i;
+    }
+    if (i < 0) {
+      break;
+    }
+    ++combo[static_cast<size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      combo[static_cast<size_t>(j)] = combo[static_cast<size_t>(j - 1)] + 1;
+    }
+  }
+  return visited;
+}
+
+double Corollary1LowerBound(int num_machines, int num_replicas, int num_failed) {
+  assert(num_machines >= 1);
+  assert(num_replicas >= 1 && num_replicas <= num_machines);
+  assert(num_failed >= 0 && num_failed <= num_machines);
+  if (num_failed < num_replicas) {
+    return 1.0;
+  }
+  const double groups = static_cast<double>(num_machines) / static_cast<double>(num_replicas);
+  const double bad = groups * BinomialCoefficient(num_machines - num_replicas,
+                                                  num_failed - num_replicas);
+  const double total = BinomialCoefficient(num_machines, num_failed);
+  return std::max(0.0, 1.0 - bad / total);
+}
+
+StatusOr<double> ExactRecoveryProbability(const PlacementPlan& plan, int num_failed,
+                                          int64_t max_combinations) {
+  const int n = plan.num_machines;
+  if (num_failed < 0 || num_failed > n) {
+    return InvalidArgumentError("num_failed out of range");
+  }
+  const double total = BinomialCoefficient(n, num_failed);
+  if (total > static_cast<double>(max_combinations)) {
+    return ResourceExhaustedError("combination space too large for exact enumeration");
+  }
+  int64_t survivable = 0;
+  std::vector<bool> failed(static_cast<size_t>(n), false);
+  ForEachCombination(n, num_failed, [&](const std::vector<int>& combo) {
+    for (const int machine : combo) {
+      failed[static_cast<size_t>(machine)] = true;
+    }
+    if (plan.Recoverable(failed)) {
+      ++survivable;
+    }
+    for (const int machine : combo) {
+      failed[static_cast<size_t>(machine)] = false;
+    }
+    return true;
+  });
+  return static_cast<double>(survivable) / total;
+}
+
+double MonteCarloRecoveryProbability(const PlacementPlan& plan, int num_failed, int trials,
+                                     Rng& rng) {
+  assert(trials > 0);
+  assert(num_failed >= 0 && num_failed <= plan.num_machines);
+  int64_t survivable = 0;
+  std::vector<bool> failed(static_cast<size_t>(plan.num_machines), false);
+  for (int t = 0; t < trials; ++t) {
+    const std::vector<int> sample = rng.SampleWithoutReplacement(plan.num_machines, num_failed);
+    for (const int machine : sample) {
+      failed[static_cast<size_t>(machine)] = true;
+    }
+    if (plan.Recoverable(failed)) {
+      ++survivable;
+    }
+    for (const int machine : sample) {
+      failed[static_cast<size_t>(machine)] = false;
+    }
+  }
+  return static_cast<double>(survivable) / static_cast<double>(trials);
+}
+
+double RingAnalyticLowerBound(int num_machines, int num_replicas, int num_failed) {
+  if (num_failed < num_replicas) {
+    return 1.0;
+  }
+  const double bad = static_cast<double>(num_machines) *
+                     BinomialCoefficient(num_machines - num_replicas,
+                                         num_failed - num_replicas);
+  const double total = BinomialCoefficient(num_machines, num_failed);
+  return std::max(0.0, 1.0 - bad / total);
+}
+
+double MixedStrategyGapBound(int num_machines, int num_replicas) {
+  return static_cast<double>(2 * num_replicas - 3) /
+         BinomialCoefficient(num_machines, num_replicas);
+}
+
+}  // namespace gemini

@@ -1,0 +1,58 @@
+// Recovery-probability analysis for checkpoint placements (paper Corollary 1
+// and the Figure 9 study).
+//
+// Three estimators with different trust/cost profiles:
+//  * Corollary1LowerBound — the paper's closed form (exact for m <= k < 2m
+//    under group placement, a lower bound for k >= 2m);
+//  * ExactRecoveryProbability — exhaustive enumeration of all C(N,k) failure
+//    sets against an arbitrary plan (ground truth, small N*k only);
+//  * MonteCarloRecoveryProbability — sampled estimate for large N.
+#ifndef SRC_PLACEMENT_PROBABILITY_H_
+#define SRC_PLACEMENT_PROBABILITY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/placement/placement.h"
+
+namespace gemini {
+
+// C(n, k) as double (exact for the magnitudes used here).
+double BinomialCoefficient(int n, int k);
+
+// Invokes `visit` with every k-subset of {0..n-1}; the span passed to the
+// callback is valid only during the call. Returns the number of subsets
+// visited. Stops early (returning -1) if the callback returns false.
+int64_t ForEachCombination(int n, int k, const std::function<bool(const std::vector<int>&)>& visit);
+
+// Paper Corollary 1: probability that GEMINI (group placement, m | N)
+// recovers k simultaneous machine failures from CPU memory.
+//   k <  m : 1
+//   k >= m : max(0, 1 - (N/m) * C(N-m, k-m) / C(N, k))
+double Corollary1LowerBound(int num_machines, int num_replicas, int num_failed);
+
+// Ground truth by enumeration: fraction of k-failure sets the plan survives.
+// Fails with kResourceExhausted when C(N,k) exceeds `max_combinations`.
+StatusOr<double> ExactRecoveryProbability(const PlacementPlan& plan, int num_failed,
+                                          int64_t max_combinations = 20'000'000);
+
+// Sampled estimate with `trials` uniformly random k-failure sets.
+double MonteCarloRecoveryProbability(const PlacementPlan& plan, int num_failed, int trials,
+                                     Rng& rng);
+
+// Analytic estimate of the ring strategy's recovery probability used by the
+// paper's Figure 9 comparison: 1 - N * C(N-m, k-m) / C(N, k). Counts one
+// fatal set per machine (its m consecutive successors), over-counting sets
+// that defeat several machines at once, so it lower-bounds the exact ring
+// probability.
+double RingAnalyticLowerBound(int num_machines, int num_replicas, int num_failed);
+
+// Theorem 1's bound on the optimality gap of the mixed strategy when m does
+// not divide N: (2m - 3) / C(N, m).
+double MixedStrategyGapBound(int num_machines, int num_replicas);
+
+}  // namespace gemini
+
+#endif  // SRC_PLACEMENT_PROBABILITY_H_

@@ -1,0 +1,93 @@
+#include "src/schedule/generic_executor.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace gemini {
+
+GenericExecutionResult ExecuteOnTimeline(const GenericExecutorParams& params) {
+  GenericExecutionResult result;
+  result.status = Status::Ok();
+  result.baseline_iteration_time = params.timeline.iteration_time;
+
+  PartitionParams partition_params;
+  partition_params.idle_spans = params.timeline.idle_spans;
+  partition_params.checkpoint_bytes = params.checkpoint_bytes;
+  partition_params.num_remote_replicas = params.num_replicas - 1;
+  partition_params.reserved_buffer =
+      params.reserved_buffer_per_gpu * params.instance.num_gpus;
+  partition_params.num_buffers = params.num_buffers;
+  partition_params.bandwidth = params.instance.network_bandwidth;
+  partition_params.alpha = params.comm_alpha;
+  partition_params.gamma = params.gamma;
+
+  StatusOr<PartitionResult> partition = PartitionCheckpoint(partition_params);
+  if (!partition.ok()) {
+    result.status = partition.status();
+    return result;
+  }
+  result.partition = std::move(partition).value();
+
+  const std::vector<ChunkAssignment>& chunks = result.partition.chunks;
+  const int pipeline = params.num_buffers;
+  std::vector<TimeNs> copy_done(chunks.size(), 0);
+
+  TimeNs net_free = 0;
+  TimeNs pcie_free = 0;
+  TimeNs shift = 0;  // Rigid downstream shift from accumulated interference.
+  size_t next_chunk = 0;
+  TimeNs last_recv_end = 0;
+  TimeNs last_copy_end = 0;
+
+  auto chunk_ready = [&](size_t k) {
+    TimeNs ready =
+        params.timeline.idle_spans[static_cast<size_t>(chunks[k].span_index)].start + shift;
+    if (k >= static_cast<size_t>(pipeline)) {
+      ready = std::max(ready, copy_done[k - static_cast<size_t>(pipeline)]);
+    }
+    return ready;
+  };
+  auto receive_chunk = [&](size_t k) {
+    const Bytes bytes = chunks[k].bytes;
+    const TimeNs start = std::max(net_free, chunk_ready(k));
+    const TimeNs recv_end =
+        start + params.comm_alpha + TransferTime(bytes, params.instance.network_bandwidth);
+    net_free = recv_end;
+    last_recv_end = recv_end;
+    const TimeNs copy_start = std::max(pcie_free, recv_end);
+    const TimeNs copy_end =
+        copy_start + TransferTime(bytes, params.instance.gpu_cpu_copy_bandwidth);
+    pcie_free = copy_end;
+    copy_done[k] = copy_end;
+    last_copy_end = std::max(last_copy_end, copy_end);
+  };
+  auto drain_chunks_before = [&](TimeNs training_issue) {
+    while (next_chunk < chunks.size() && chunk_ready(next_chunk) < training_issue) {
+      receive_chunk(next_chunk);
+      ++next_chunk;
+    }
+  };
+
+  for (const CommSegment& segment : params.timeline.comm) {
+    const TimeNs issue = segment.start + shift;
+    drain_chunks_before(issue);
+    const TimeNs start = std::max(net_free, issue);
+    shift += start - issue;
+    net_free = start + segment.duration;
+  }
+  drain_chunks_before(std::numeric_limits<TimeNs>::max());
+
+  const TimeNs update_end = params.timeline.iteration_time + shift;
+  result.checkpoint_network_done = last_recv_end;
+  const TimeNs local_copy =
+      TransferTime(params.checkpoint_bytes, params.instance.gpu_cpu_copy_bandwidth);
+  result.checkpoint_done = std::max(last_copy_end, local_copy);
+  result.iteration_time = std::max(update_end, result.checkpoint_network_done);
+  result.checkpoint_within_iteration = result.checkpoint_done <= result.iteration_time;
+  result.overhead_fraction = static_cast<double>(result.iteration_time) /
+                                 static_cast<double>(result.baseline_iteration_time) -
+                             1.0;
+  return result;
+}
+
+}  // namespace gemini

@@ -1,0 +1,47 @@
+// Checkpoint interleaving on arbitrary iteration timelines.
+//
+// ExecuteIterationWithCheckpoint (executor.h) replays the ZeRO-3 dependency
+// walk exactly; this generic variant takes *any* IterationTimeline (data
+// parallel, pipeline parallel, or a measured trace) and schedules Algorithm
+// 2's chunks into its idle spans under a rigid-shift interference model:
+// when checkpoint traffic delays a training communication segment, all
+// later segments shift by the same amount (communication gates computation
+// downstream). This is what makes GEMINI's scheduling applicable to the
+// parallelism strategies the paper defers to future work (Section 9).
+#ifndef SRC_SCHEDULE_GENERIC_EXECUTOR_H_
+#define SRC_SCHEDULE_GENERIC_EXECUTOR_H_
+
+#include "src/cluster/instance_spec.h"
+#include "src/schedule/partition.h"
+#include "src/training/timeline.h"
+
+namespace gemini {
+
+struct GenericExecutorParams {
+  IterationTimeline timeline;
+  InstanceSpec instance;
+  // One machine's checkpoint size and the replica count m.
+  Bytes checkpoint_bytes = 0;
+  int num_replicas = 2;
+  Bytes reserved_buffer_per_gpu = MiB(128);
+  int num_buffers = 4;
+  double gamma = 0.7;
+  TimeNs comm_alpha = Micros(100);
+};
+
+struct GenericExecutionResult {
+  Status status;
+  TimeNs baseline_iteration_time = 0;
+  TimeNs iteration_time = 0;
+  TimeNs checkpoint_network_done = 0;
+  TimeNs checkpoint_done = 0;
+  bool checkpoint_within_iteration = false;
+  double overhead_fraction = 0.0;
+  PartitionResult partition;
+};
+
+GenericExecutionResult ExecuteOnTimeline(const GenericExecutorParams& params);
+
+}  // namespace gemini
+
+#endif  // SRC_SCHEDULE_GENERIC_EXECUTOR_H_

@@ -1,0 +1,77 @@
+// Checkpoint partitioning (paper Section 5.3, Algorithm 2).
+//
+// Given the profiled idle timespans of one training iteration, the size C of
+// a checkpoint, the number of remote replicas m-1, the reserved GPU buffer R
+// split into p sub-buffers, and the transfer cost f(s) = alpha + s/B, the
+// algorithm decides how many chunk transmissions of what size to place in
+// each idle span. A coefficient gamma in (0,1) discounts each span for
+// iteration-to-iteration variance. The final span is treated as unbounded
+// (paper line 2: t[d] = +inf): traffic that does not fit in the real spans
+// spills there and prolongs the iteration.
+#ifndef SRC_SCHEDULE_PARTITION_H_
+#define SRC_SCHEDULE_PARTITION_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/training/timeline.h"
+
+namespace gemini {
+
+struct PartitionParams {
+  // Profiled idle spans, ordered by start (from ProfileIdleSpans).
+  std::vector<IdleSpan> idle_spans;
+  // Checkpoint size C (one machine's model states).
+  Bytes checkpoint_bytes = 0;
+  // Remote replica count m-1 (each is a full extra checkpoint of traffic).
+  int num_remote_replicas = 1;
+  // Total reserved GPU buffer R (machine level) and sub-buffer count p; the
+  // maximum chunk size is R/p.
+  Bytes reserved_buffer = 0;
+  int num_buffers = 4;
+  // Checkpoint streams run at full line rate.
+  BytesPerSecond bandwidth = 0;
+  TimeNs alpha = 0;
+  // Span-variance safety coefficient, gamma in (0, 1].
+  double gamma = 0.7;
+};
+
+struct ChunkAssignment {
+  // Index into PartitionParams::idle_spans.
+  int span_index = -1;
+  Bytes bytes = 0;
+  // Which remote replica copy this chunk belongs to (0 .. m-2).
+  int replica_index = 0;
+  // Offset of this chunk within its replica's checkpoint.
+  Bytes offset = 0;
+};
+
+struct PartitionResult {
+  std::vector<ChunkAssignment> chunks;
+  // True when all traffic fit in the gamma-discounted real spans; false when
+  // chunks spilled into the artificial unbounded final span.
+  bool fits_within_idle_time = true;
+  // Largest chunk produced (<= R/p by construction).
+  Bytes max_chunk_bytes = 0;
+  // Planned transmission time summed over chunks (sum of f(size)).
+  TimeNs planned_transmission_time = 0;
+};
+
+// Algorithm 2. Fails with kInvalidArgument on degenerate inputs (no spans,
+// non-positive buffer/bandwidth).
+//
+// Fidelity note: the paper's pseudocode updates the remaining span with
+// f(remain_size) (line 17); we subtract f(size) — the cost of the chunk just
+// placed — which is the only reading under which the span budget arithmetic
+// terminates and matches the surrounding prose.
+StatusOr<PartitionResult> PartitionCheckpoint(const PartitionParams& params);
+
+// Convenience: the single-chunk-per-span partitioning of the "Naive
+// interleave" scheme (Figure 16), which requires a buffer as large as the
+// biggest gamma-discounted span can carry.
+StatusOr<PartitionResult> PartitionOneChunkPerSpan(const PartitionParams& params);
+
+}  // namespace gemini
+
+#endif  // SRC_SCHEDULE_PARTITION_H_

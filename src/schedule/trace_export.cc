@@ -1,0 +1,81 @@
+#include "src/schedule/trace_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace gemini {
+namespace {
+
+const char* CommKindName(CommKind kind) {
+  switch (kind) {
+    case CommKind::kForwardAllGather:
+      return "fwd all-gather";
+    case CommKind::kBackwardAllGather:
+      return "bwd all-gather";
+    case CommKind::kGradReduceScatter:
+      return "grad reduce-scatter";
+  }
+  return "comm";
+}
+
+// One complete-event ("ph":"X") entry; timestamps in microseconds.
+void AppendEvent(std::ostringstream& os, bool& first, const char* name, const char* track,
+                 TimeNs start, TimeNs duration) {
+  if (!first) {
+    os << ",\n";
+  }
+  first = false;
+  os << "  {\"name\": \"" << name << "\", \"cat\": \"gemini\", \"ph\": \"X\", \"ts\": "
+     << static_cast<double>(start) / 1000.0
+     << ", \"dur\": " << static_cast<double>(duration) / 1000.0
+     << ", \"pid\": 1, \"tid\": \"" << track << "\"}";
+}
+
+}  // namespace
+
+std::string TimelineToChromeTrace(const IterationTimeline& timeline,
+                                  const PartitionResult& partition,
+                                  BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha) {
+  std::ostringstream os;
+  os << "{\n\"traceEvents\": [\n";
+  bool first = true;
+  for (const CommSegment& segment : timeline.comm) {
+    AppendEvent(os, first, CommKindName(segment.kind), "network", segment.start,
+                segment.duration);
+  }
+  for (const IdleSpan& span : timeline.idle_spans) {
+    AppendEvent(os, first, "idle", "idle", span.start, span.length);
+  }
+  // Chunks render front-loaded within their span, matching the greedy
+  // execution order.
+  std::vector<TimeNs> cursor(timeline.idle_spans.size());
+  for (size_t s = 0; s < cursor.size(); ++s) {
+    cursor[s] = timeline.idle_spans[s].start;
+  }
+  for (const ChunkAssignment& chunk : partition.chunks) {
+    const size_t span = static_cast<size_t>(chunk.span_index);
+    const TimeNs duration = comm_alpha + TransferTime(chunk.bytes, checkpoint_bandwidth);
+    AppendEvent(os, first, "ckpt chunk", "checkpoint", cursor[span], duration);
+    cursor[span] += duration;
+  }
+  AppendEvent(os, first, "optimizer update", "compute", timeline.update_start,
+              timeline.update_duration);
+  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::string& path, const IterationTimeline& timeline,
+                        const PartitionResult& partition,
+                        BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return UnavailableError("cannot open trace file for writing: " + path);
+  }
+  out << TimelineToChromeTrace(timeline, partition, checkpoint_bandwidth, comm_alpha);
+  if (!out) {
+    return DataLossError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemini

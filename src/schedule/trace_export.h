@@ -1,0 +1,33 @@
+// Chrome trace-event export of iteration timelines.
+//
+// Writes a timeline (training communication segments, idle spans, and
+// optionally the checkpoint chunks a partition placed into them) as a
+// chrome://tracing / Perfetto-compatible JSON file, so the Figure 4/5
+// structure can be inspected interactively. Rows:
+//   pid 1 "network"    — training bursts ('#' in the ASCII visualizer)
+//   pid 1 "checkpoint" — scheduled chunk transmissions
+//   pid 1 "idle"       — the gaps Algorithm 2 budgets against
+#ifndef SRC_SCHEDULE_TRACE_EXPORT_H_
+#define SRC_SCHEDULE_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/schedule/partition.h"
+#include "src/training/timeline.h"
+
+namespace gemini {
+
+// Serializes the trace to a JSON string (trace-event "traceEvents" array).
+std::string TimelineToChromeTrace(const IterationTimeline& timeline,
+                                  const PartitionResult& partition,
+                                  BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha);
+
+// Writes the trace to `path`. Fails with kUnavailable on I/O errors.
+Status WriteChromeTrace(const std::string& path, const IterationTimeline& timeline,
+                        const PartitionResult& partition,
+                        BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha);
+
+}  // namespace gemini
+
+#endif  // SRC_SCHEDULE_TRACE_EXPORT_H_

@@ -1,0 +1,88 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gemini {
+
+EventId Simulator::ScheduleAt(TimeNs when, std::function<void()> fn) {
+  assert(fn);
+  assert(when >= now_ && "cannot schedule into the past");
+  const uint64_t seq = next_seq_++;
+  queue_.push(Event{when, seq});
+  callbacks_.emplace(seq, std::move(fn));
+  return EventId{seq};
+}
+
+EventId Simulator::ScheduleAfter(TimeNs delay, std::function<void()> fn) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  return callbacks_.erase(id.value) > 0;
+}
+
+bool Simulator::RunOne() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    auto it = callbacks_.find(event.seq);
+    if (it == callbacks_.end()) {
+      // Tombstone from a cancelled event.
+      queue_.pop();
+      continue;
+    }
+    queue_.pop();
+    now_ = event.when;
+    // Move the callback out before running it: the callback may schedule or
+    // cancel other events (rehashing callbacks_).
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++events_run_;
+    if (event_limit_ > 0 && events_run_ > event_limit_) {
+      std::fprintf(stderr, "Simulator event limit (%lld) exceeded; aborting\n",
+                   static_cast<long long>(event_limit_));
+      std::abort();
+    }
+    fn();
+    return true;
+  }
+  return false;
+}
+
+int64_t Simulator::Run() {
+  int64_t n = 0;
+  while (RunOne()) {
+    ++n;
+  }
+  return n;
+}
+
+int64_t Simulator::RunUntil(TimeNs deadline) {
+  assert(deadline >= now_);
+  int64_t n = 0;
+  while (!queue_.empty()) {
+    // Skip tombstones so queue_.top() reflects a live event time.
+    if (callbacks_.find(queue_.top().seq) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) {
+      break;
+    }
+    if (!RunOne()) {
+      break;
+    }
+    ++n;
+  }
+  now_ = deadline;
+  return n;
+}
+
+bool Simulator::Step() { return RunOne(); }
+
+}  // namespace gemini

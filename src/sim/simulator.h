@@ -1,0 +1,91 @@
+// Deterministic discrete-event simulation engine.
+//
+// This is the substrate that stands in for the paper's physical GPU cluster:
+// every timed activity (a NIC transfer, a PCIe copy, a compute segment, a
+// heartbeat, a machine failure) is an event scheduled on one Simulator.
+// Events at equal timestamps fire in scheduling order (FIFO tie-break via a
+// monotonically increasing sequence number), so runs are bit-reproducible.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace gemini {
+
+// Opaque handle identifying a scheduled event; usable for cancellation.
+struct EventId {
+  uint64_t value = 0;
+  bool valid() const { return value != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimeNs now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `when` (>= now()).
+  EventId ScheduleAt(TimeNs when, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` after now().
+  EventId ScheduleAfter(TimeNs delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed. Cancellation is O(1): the event is
+  // tombstoned and skipped when popped.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  int64_t Run();
+
+  // Runs events with timestamp <= deadline; leaves now() == deadline if the
+  // queue drained earlier or the next event is beyond the deadline.
+  int64_t RunUntil(TimeNs deadline);
+
+  // Runs at most one event. Returns false when the queue is empty.
+  bool Step();
+
+  // Number of events waiting (including tombstoned ones).
+  size_t pending_events() const { return queue_.size(); }
+
+  // Hard cap on total events per Run*/Step sequence to catch runaway loops in
+  // tests; 0 disables. Exceeding the cap aborts the process.
+  void set_event_limit(int64_t limit) { event_limit_ = limit; }
+
+ private:
+  struct Event {
+    TimeNs when;
+    uint64_t seq;
+    // Ordered min-first by (when, seq).
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the next live event. Returns false if none remain.
+  bool RunOne();
+
+  TimeNs now_ = 0;
+  uint64_t next_seq_ = 1;
+  int64_t events_run_ = 0;
+  int64_t event_limit_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // seq -> callback for live events; cancelled events are simply erased.
+  std::unordered_map<uint64_t, std::function<void()>> callbacks_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_SIM_SIMULATOR_H_

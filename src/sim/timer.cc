@@ -1,0 +1,51 @@
+#include "src/sim/timer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace gemini {
+
+RepeatingTimer::RepeatingTimer(Simulator& sim, TimeNs period, std::function<void()> on_tick)
+    : sim_(sim), period_(period), on_tick_(std::move(on_tick)) {
+  assert(period_ > 0);
+  assert(on_tick_);
+}
+
+RepeatingTimer::~RepeatingTimer() {
+  *alive_ = false;
+  Stop();
+}
+
+void RepeatingTimer::Start(bool fire_now) {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  Arm(fire_now ? 0 : period_);
+}
+
+void RepeatingTimer::Stop() {
+  running_ = false;
+  if (pending_.valid()) {
+    sim_.Cancel(pending_);
+    pending_ = EventId{};
+  }
+}
+
+void RepeatingTimer::Arm(TimeNs delay) {
+  std::weak_ptr<bool> alive = alive_;
+  pending_ = sim_.ScheduleAfter(delay, [this, alive] {
+    const auto locked = alive.lock();
+    if (!locked || !*locked || !running_) {
+      return;
+    }
+    pending_ = EventId{};
+    on_tick_();
+    // on_tick_ may have stopped the timer.
+    if (running_) {
+      Arm(period_);
+    }
+  });
+}
+
+}  // namespace gemini

@@ -1,0 +1,43 @@
+// Repeating timer built on the Simulator, used for heartbeats and periodic
+// health scans. The callback may Stop() the timer (e.g. when its agent dies).
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/sim/simulator.h"
+
+namespace gemini {
+
+class RepeatingTimer {
+ public:
+  // Does not start ticking until Start() is called.
+  RepeatingTimer(Simulator& sim, TimeNs period, std::function<void()> on_tick);
+  ~RepeatingTimer();
+
+  RepeatingTimer(const RepeatingTimer&) = delete;
+  RepeatingTimer& operator=(const RepeatingTimer&) = delete;
+
+  // First tick fires `period` from now (or immediately if fire_now).
+  void Start(bool fire_now = false);
+  void Stop();
+  bool running() const { return running_; }
+  TimeNs period() const { return period_; }
+
+ private:
+  void Arm(TimeNs delay);
+
+  Simulator& sim_;
+  TimeNs period_;
+  std::function<void()> on_tick_;
+  bool running_ = false;
+  EventId pending_{};
+  // Guards against use-after-free when the owner destroys the timer while an
+  // event holding a reference is in flight.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace gemini
+
+#endif  // SRC_SIM_TIMER_H_

@@ -1,0 +1,42 @@
+// Checkpoint objects.
+//
+// A checkpoint is the model states owned by one machine (its ZeRO-3 shard of
+// parameters + optimizer states). Checkpoints carry two sizes:
+//  * `logical_bytes` — the modeled size used for all timing (e.g. 75 GiB per
+//    machine for GPT-2 100B on 16 machines: 12 bytes/param of fp32 optimizer
+//    state + master weights, sharded);
+//  * a real float payload — small, but flows through every code path
+//    (partitioned, transferred, serialized, CRC-checked, restored) so that
+//    recovery correctness is verified on actual bytes.
+#ifndef SRC_STORAGE_CHECKPOINT_H_
+#define SRC_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace gemini {
+
+struct Checkpoint {
+  // Rank of the machine whose model states these are.
+  int owner_rank = -1;
+  // Training iteration the states correspond to (checkpoint taken after the
+  // update of this iteration).
+  int64_t iteration = -1;
+  // Modeled size used by the cost models and memory accounting.
+  Bytes logical_bytes = 0;
+  // Real payload.
+  std::vector<float> payload;
+
+  bool valid() const { return owner_rank >= 0 && iteration >= 0; }
+
+  friend bool operator==(const Checkpoint& a, const Checkpoint& b) {
+    return a.owner_rank == b.owner_rank && a.iteration == b.iteration &&
+           a.logical_bytes == b.logical_bytes && a.payload == b.payload;
+  }
+};
+
+}  // namespace gemini
+
+#endif  // SRC_STORAGE_CHECKPOINT_H_

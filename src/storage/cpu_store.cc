@@ -1,0 +1,124 @@
+#include "src/storage/cpu_store.h"
+
+#include <cassert>
+
+namespace gemini {
+
+void CpuCheckpointStore::ResetForMachine(Machine& machine) {
+  // The previous machine's DRAM is gone; do not free against the new one.
+  slots_.clear();
+  reserved_ = 0;
+  machine_ = &machine;
+}
+
+Status CpuCheckpointStore::HostOwner(int owner_rank, Bytes replica_bytes) {
+  auto it = slots_.find(owner_rank);
+  if (it != slots_.end()) {
+    if (it->second.replica_bytes == replica_bytes) {
+      return Status::Ok();
+    }
+    return AlreadyExistsError("owner already hosted with a different replica size");
+  }
+  // Double buffer: completed + ongoing.
+  const Bytes needed = 2 * replica_bytes;
+  GEMINI_RETURN_IF_ERROR(machine_->AllocateCpuMemory(needed));
+  Slot slot;
+  slot.replica_bytes = replica_bytes;
+  slots_.emplace(owner_rank, std::move(slot));
+  reserved_ += needed;
+  return Status::Ok();
+}
+
+void CpuCheckpointStore::DropOwner(int owner_rank) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return;
+  }
+  const Bytes freed = 2 * it->second.replica_bytes;
+  machine_->FreeCpuMemory(freed);
+  reserved_ -= freed;
+  slots_.erase(it);
+}
+
+Status CpuCheckpointStore::BeginWrite(int owner_rank, int64_t iteration) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return FailedPreconditionError("owner not hosted on this machine");
+  }
+  Slot& slot = it->second;
+  slot.writing = true;
+  slot.writing_iteration = iteration;
+  slot.received = 0;
+  return Status::Ok();
+}
+
+Status CpuCheckpointStore::AppendChunk(int owner_rank, Bytes chunk_bytes) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return FailedPreconditionError("owner not hosted on this machine");
+  }
+  Slot& slot = it->second;
+  if (!slot.writing) {
+    return FailedPreconditionError("no write in progress");
+  }
+  slot.received += chunk_bytes;
+  if (slot.received > slot.replica_bytes) {
+    return InvalidArgumentError("chunk overflows the ongoing checkpoint buffer");
+  }
+  return Status::Ok();
+}
+
+Status CpuCheckpointStore::CommitWrite(Checkpoint checkpoint) {
+  auto it = slots_.find(checkpoint.owner_rank);
+  if (it == slots_.end()) {
+    return FailedPreconditionError("owner not hosted on this machine");
+  }
+  Slot& slot = it->second;
+  if (!slot.writing) {
+    return FailedPreconditionError("no write in progress");
+  }
+  if (slot.received != checkpoint.logical_bytes) {
+    return DataLossError("commit with incomplete checkpoint: received " +
+                         FormatBytes(slot.received) + " of " +
+                         FormatBytes(checkpoint.logical_bytes));
+  }
+  if (slot.writing_iteration != checkpoint.iteration) {
+    return InvalidArgumentError("commit iteration does not match BeginWrite");
+  }
+  slot.completed = std::move(checkpoint);
+  slot.writing = false;
+  slot.writing_iteration = -1;
+  slot.received = 0;
+  return Status::Ok();
+}
+
+void CpuCheckpointStore::AbortWrite(int owner_rank) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return;
+  }
+  it->second.writing = false;
+  it->second.writing_iteration = -1;
+  it->second.received = 0;
+}
+
+Status CpuCheckpointStore::WriteComplete(Checkpoint checkpoint) {
+  GEMINI_RETURN_IF_ERROR(BeginWrite(checkpoint.owner_rank, checkpoint.iteration));
+  GEMINI_RETURN_IF_ERROR(AppendChunk(checkpoint.owner_rank, checkpoint.logical_bytes));
+  return CommitWrite(std::move(checkpoint));
+}
+
+std::optional<Checkpoint> CpuCheckpointStore::Latest(int owner_rank) const {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return std::nullopt;
+  }
+  return it->second.completed;
+}
+
+int64_t CpuCheckpointStore::LatestIteration(int owner_rank) const {
+  const std::optional<Checkpoint> latest = Latest(owner_rank);
+  return latest.has_value() ? latest->iteration : -1;
+}
+
+}  // namespace gemini

@@ -1,0 +1,75 @@
+// Per-machine CPU-memory checkpoint store.
+//
+// Implements GEMINI's in-memory tier: each machine hosts checkpoint replicas
+// for itself and for the group peers assigned by the placement strategy.
+// Per the paper's implementation (Section 7.1), each hosted owner has two
+// buffers — one holding the last *completed* checkpoint and one receiving
+// the *ongoing* checkpoint — so a failure mid-checkpoint always leaves a
+// complete checkpoint behind. Committing swaps the buffers.
+//
+// Memory is accounted against the host Machine's CPU memory; hosting is
+// rejected when 2x the replica size does not fit.
+#ifndef SRC_STORAGE_CPU_STORE_H_
+#define SRC_STORAGE_CPU_STORE_H_
+
+#include <map>
+#include <optional>
+
+#include "src/cluster/machine.h"
+#include "src/common/status.h"
+#include "src/storage/checkpoint.h"
+
+namespace gemini {
+
+class CpuCheckpointStore {
+ public:
+  explicit CpuCheckpointStore(Machine& machine) : machine_(&machine) {}
+
+  // Called when the machine is swapped for a new incarnation: all contents
+  // are lost with the old machine's DRAM.
+  void ResetForMachine(Machine& machine);
+
+  // Reserves the double buffer for checkpoints owned by `owner_rank` of the
+  // given size. Idempotent for equal sizes.
+  Status HostOwner(int owner_rank, Bytes replica_bytes);
+  // Releases the double buffer (placement change after recovery).
+  void DropOwner(int owner_rank);
+  bool Hosts(int owner_rank) const { return slots_.contains(owner_rank); }
+
+  // Write path: Begin marks the ongoing buffer as receiving `iteration`;
+  // AppendChunk accumulates arrived bytes; Commit requires all bytes present
+  // and atomically publishes the checkpoint. Abort drops a partial write.
+  Status BeginWrite(int owner_rank, int64_t iteration);
+  Status AppendChunk(int owner_rank, Bytes chunk_bytes);
+  Status CommitWrite(Checkpoint checkpoint);
+  void AbortWrite(int owner_rank);
+
+  // Convenience for paths where arrival is not chunk-timed (e.g. local
+  // GPU->CPU copies whose timing is handled by the caller).
+  Status WriteComplete(Checkpoint checkpoint);
+
+  // Latest completed checkpoint for an owner, if any.
+  std::optional<Checkpoint> Latest(int owner_rank) const;
+  // Iteration of the latest completed checkpoint, or -1.
+  int64_t LatestIteration(int owner_rank) const;
+
+  Bytes reserved_bytes() const { return reserved_; }
+
+ private:
+  struct Slot {
+    Bytes replica_bytes = 0;
+    std::optional<Checkpoint> completed;
+    // Ongoing write state.
+    bool writing = false;
+    int64_t writing_iteration = -1;
+    Bytes received = 0;
+  };
+
+  Machine* machine_;
+  std::map<int, Slot> slots_;
+  Bytes reserved_ = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_STORAGE_CPU_STORE_H_

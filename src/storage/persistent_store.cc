@@ -1,0 +1,154 @@
+#include "src/storage/persistent_store.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/storage/serializer.h"
+
+namespace gemini {
+
+std::string PersistentStore::ShardPath(int owner_rank, int64_t iteration) const {
+  if (config_.disk_dir.empty()) {
+    return "";
+  }
+  return config_.disk_dir + "/ckpt_" + std::to_string(iteration) + "_" +
+         std::to_string(owner_rank) + ".gmck";
+}
+
+namespace {
+
+Status WriteShardFile(const std::string& path, const Checkpoint& checkpoint) {
+  std::error_code ec;
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
+  const std::vector<uint8_t> blob = SerializeCheckpoint(checkpoint);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return UnavailableError("cannot open shard file for writing: " + path);
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) {
+    return DataLossError("short write to shard file: " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Checkpoint> ReadShardFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return NotFoundError("shard file missing: " + path);
+  }
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<uint8_t> blob(static_cast<size_t>(size));
+  in.read(reinterpret_cast<char*>(blob.data()), size);
+  if (!in) {
+    return DataLossError("short read from shard file: " + path);
+  }
+  return DeserializeCheckpoint(blob);
+}
+
+}  // namespace
+
+TimeNs PersistentStore::ScheduleTransfer(Bytes bytes, std::function<void()> at_completion) {
+  const TimeNs start = std::max(sim_.now(), busy_until_);
+  const TimeNs end =
+      start + config_.request_latency + TransferTime(bytes, config_.aggregate_bandwidth);
+  busy_until_ = end;
+  sim_.ScheduleAt(end, std::move(at_completion));
+  return end;
+}
+
+TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, DoneCallback done) {
+  assert(checkpoint.valid());
+  assert(expected_world_size > 0);
+  const Bytes bytes = checkpoint.logical_bytes;
+  return ScheduleTransfer(
+      bytes, [this, checkpoint = std::move(checkpoint), expected_world_size,
+              done = std::move(done)]() mutable {
+        bytes_written_ += checkpoint.logical_bytes;
+        const int64_t iteration = checkpoint.iteration;
+        const std::string path = ShardPath(checkpoint.owner_rank, iteration);
+        if (!path.empty()) {
+          const Status written = WriteShardFile(path, checkpoint);
+          if (!written.ok()) {
+            done(written);
+            return;
+          }
+        }
+        shards_[iteration][checkpoint.owner_rank] = std::move(checkpoint);
+        expected_world_[iteration] = expected_world_size;
+        done(Status::Ok());
+      });
+}
+
+TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
+                                 std::function<void(StatusOr<Checkpoint>)> done) {
+  const std::optional<Checkpoint> shard = Peek(owner_rank, iteration);
+  if (!shard.has_value()) {
+    // Lookup miss costs only the request latency.
+    const TimeNs end = sim_.now() + config_.request_latency;
+    sim_.ScheduleAt(end, [owner_rank, iteration, done = std::move(done)] {
+      done(NotFoundError("persistent store has no shard for rank " + std::to_string(owner_rank) +
+                         " at iteration " + std::to_string(iteration)));
+    });
+    return end;
+  }
+  return ScheduleTransfer(
+      shard->logical_bytes,
+      [this, shard = *shard, owner_rank, iteration, done = std::move(done)]() mutable {
+        const std::string path = ShardPath(owner_rank, iteration);
+        if (!path.empty()) {
+          // Read back through the serialized form so the CRC guards the
+          // bytes actually restored.
+          StatusOr<Checkpoint> from_disk = ReadShardFile(path);
+          done(std::move(from_disk));
+          return;
+        }
+        done(std::move(shard));
+      });
+}
+
+int64_t PersistentStore::LatestCompleteIteration() const {
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    const auto expected = expected_world_.find(it->first);
+    if (expected != expected_world_.end() &&
+        static_cast<int>(it->second.size()) >= expected->second) {
+      return it->first;
+    }
+  }
+  return -1;
+}
+
+void PersistentStore::SeedImmediate(Checkpoint checkpoint, int expected_world_size) {
+  assert(checkpoint.valid());
+  const int64_t iteration = checkpoint.iteration;
+  const std::string path = ShardPath(checkpoint.owner_rank, iteration);
+  if (!path.empty()) {
+    const Status written = WriteShardFile(path, checkpoint);
+    if (!written.ok()) {
+      GEMINI_LOG(kError) << "seeding persistent shard failed: " << written;
+    }
+  }
+  shards_[iteration][checkpoint.owner_rank] = std::move(checkpoint);
+  expected_world_[iteration] = expected_world_size;
+}
+
+std::optional<Checkpoint> PersistentStore::Peek(int owner_rank, int64_t iteration) const {
+  const auto by_iter = shards_.find(iteration);
+  if (by_iter == shards_.end()) {
+    return std::nullopt;
+  }
+  const auto by_owner = by_iter->second.find(owner_rank);
+  if (by_owner == by_iter->second.end()) {
+    return std::nullopt;
+  }
+  return by_owner->second;
+}
+
+}  // namespace gemini

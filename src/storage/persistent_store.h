@@ -1,0 +1,96 @@
+// Remote persistent checkpoint storage (the FSx stand-in).
+//
+// Models the storage tier existing solutions checkpoint to: a shared store
+// with a fixed *aggregate* bandwidth (20 Gb/s in the paper's testbed) that
+// all machines' transfers serialize through. Saves are grouped into global
+// checkpoints: a training iteration is only restorable once every rank's
+// shard for that iteration has finished uploading — exactly why a failure
+// mid-upload falls back to the previous complete checkpoint (paper Fig. 1).
+//
+// With `config.disk_dir` set, every durable shard is additionally written to
+// disk in the serialized (CRC-protected) checkpoint format and read back —
+// with integrity verification — on retrieval, so the persistent tier
+// survives process restarts like the real thing.
+#ifndef SRC_STORAGE_PERSISTENT_STORE_H_
+#define SRC_STORAGE_PERSISTENT_STORE_H_
+
+#include <functional>
+#include <string>
+#include <map>
+#include <optional>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+#include "src/storage/checkpoint.h"
+
+namespace gemini {
+
+struct PersistentStoreConfig {
+  // Aggregate bandwidth across all concurrent readers/writers.
+  BytesPerSecond aggregate_bandwidth = GbpsToBytesPerSecond(20);
+  // Per-request overhead.
+  TimeNs request_latency = Millis(10);
+  // When non-empty, shards are persisted as files under this directory
+  // ("ckpt_<iteration>_<rank>.gmck") and retrieval re-reads and CRC-checks
+  // them.
+  std::string disk_dir;
+};
+
+class PersistentStore {
+ public:
+  PersistentStore(Simulator& sim, PersistentStoreConfig config)
+      : sim_(sim), config_(config) {}
+
+  const PersistentStoreConfig& config() const { return config_; }
+
+  using DoneCallback = std::function<void(Status)>;
+
+  // Uploads one rank's shard of the global checkpoint at its iteration.
+  // Completion time honours the shared-bandwidth FIFO. The shard becomes
+  // visible (durable) only at completion.
+  TimeNs Save(Checkpoint checkpoint, int expected_world_size, DoneCallback done);
+
+  // Downloads a shard; `done` receives the checkpoint at the simulated
+  // completion time.
+  TimeNs Retrieve(int owner_rank, int64_t iteration,
+                  std::function<void(StatusOr<Checkpoint>)> done);
+
+  // Latest iteration for which all `world_size` shards are durable; -1 if
+  // none.
+  int64_t LatestCompleteIteration() const;
+
+  // Immediate (zero-time) lookup used by analysis code and tests.
+  std::optional<Checkpoint> Peek(int owner_rank, int64_t iteration) const;
+
+  // Zero-time durable write, used to seed the initial (pre-training) global
+  // checkpoint during job setup.
+  void SeedImmediate(Checkpoint checkpoint, int expected_world_size);
+
+  // Analytic time to move `bytes` through the store (excluding queueing).
+  TimeNs TransferCost(Bytes bytes) const {
+    return config_.request_latency + TransferTime(bytes, config_.aggregate_bandwidth);
+  }
+
+  // Total bytes ever written (for reporting).
+  Bytes bytes_written() const { return bytes_written_; }
+
+  // Path a shard file would live at (empty when disk backing is off).
+  std::string ShardPath(int owner_rank, int64_t iteration) const;
+
+ private:
+  // Shared-bandwidth FIFO: a transfer starts when the previous one finishes.
+  TimeNs ScheduleTransfer(Bytes bytes, std::function<void()> at_completion);
+
+  Simulator& sim_;
+  PersistentStoreConfig config_;
+  TimeNs busy_until_ = 0;
+  Bytes bytes_written_ = 0;
+  // iteration -> owner -> shard; complete-set tracking by expected world.
+  std::map<int64_t, std::map<int, Checkpoint>> shards_;
+  std::map<int64_t, int> expected_world_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_STORAGE_PERSISTENT_STORE_H_

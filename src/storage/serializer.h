@@ -1,0 +1,40 @@
+// Binary checkpoint serialization (the torch.save / torch.load analogue).
+//
+// Format (little-endian):
+//   magic "GMCK" | u32 version | i32 owner | i64 iteration | i64 logical
+//   | u64 payload_count | payload floats | u32 crc32(everything before crc)
+//
+// Deserialize verifies magic, version, and CRC, so a recovery path can never
+// silently load torn or corrupted state.
+#ifndef SRC_STORAGE_SERIALIZER_H_
+#define SRC_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/storage/checkpoint.h"
+
+namespace gemini {
+
+std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint);
+
+StatusOr<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes);
+
+// Timing model for serialization. torch.save is CPU-bound: the paper
+// measures 81 s per HighFreq checkpoint and 162 s to serialize two replicas
+// at recovery (GPT-2 100B, 75 GiB per machine replica), i.e. ~1 GiB/s.
+struct SerializationModel {
+  // Calibrated: the paper measures 81 s per 75 GB machine replica.
+  BytesPerSecond bandwidth = 0.93e9;
+
+  TimeNs SerializeTime(Bytes logical_bytes) const { return TransferTime(logical_bytes, bandwidth); }
+  // Loading is symmetric at this fidelity.
+  TimeNs DeserializeTime(Bytes logical_bytes) const {
+    return TransferTime(logical_bytes, bandwidth);
+  }
+};
+
+}  // namespace gemini
+
+#endif  // SRC_STORAGE_SERIALIZER_H_

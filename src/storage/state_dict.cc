@@ -1,0 +1,243 @@
+#include "src/storage/state_dict.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+#include "src/common/crc32.h"
+
+namespace gemini {
+
+Bytes DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return 4;
+    case DType::kFloat16:
+      return 2;
+  }
+  return 4;
+}
+
+std::string_view DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kFloat32:
+      return "float32";
+    case DType::kFloat16:
+      return "float16";
+  }
+  return "unknown";
+}
+
+int64_t TensorSpec::NumElements() const {
+  int64_t elements = 1;
+  for (const int64_t dim : shape) {
+    elements *= dim;
+  }
+  return shape.empty() ? 0 : elements;
+}
+
+std::vector<TensorSpec> ShardSpecs(const std::vector<TensorSpec>& full, int rank,
+                                   int num_shards) {
+  assert(rank >= 0 && rank < num_shards);
+  std::vector<TensorSpec> shard;
+  shard.reserve(full.size());
+  for (const TensorSpec& spec : full) {
+    const int64_t elements = spec.NumElements();
+    // Contiguous split with the remainder spread over the first shards.
+    const int64_t base = elements / num_shards;
+    const int64_t extra = elements % num_shards;
+    const int64_t mine = base + (rank < extra ? 1 : 0);
+    if (mine == 0) {
+      continue;
+    }
+    TensorSpec piece;
+    piece.name = spec.name + "/shard" + std::to_string(rank) + "-of-" +
+                 std::to_string(num_shards);
+    piece.shape = {mine};
+    piece.dtype = spec.dtype;
+    shard.push_back(std::move(piece));
+  }
+  return shard;
+}
+
+Bytes TotalBytes(const std::vector<TensorSpec>& specs) {
+  Bytes total = 0;
+  for (const TensorSpec& spec : specs) {
+    total += spec.ByteSize();
+  }
+  return total;
+}
+
+Status StateDict::AddTensor(TensorSpec spec, std::vector<float> data) {
+  if (tensors_.contains(spec.name)) {
+    return AlreadyExistsError("duplicate tensor name: " + spec.name);
+  }
+  if (static_cast<int64_t>(data.size()) != spec.NumElements()) {
+    return InvalidArgumentError("tensor '" + spec.name + "' data has " +
+                                std::to_string(data.size()) + " elements, spec expects " +
+                                std::to_string(spec.NumElements()));
+  }
+  order_.push_back(spec.name);
+  const std::string name = spec.name;
+  tensors_.emplace(name, Entry{std::move(spec), std::move(data)});
+  return Status::Ok();
+}
+
+const TensorSpec* StateDict::FindSpec(const std::string& name) const {
+  const auto it = tensors_.find(name);
+  return it == tensors_.end() ? nullptr : &it->second.spec;
+}
+
+const std::vector<float>* StateDict::FindData(const std::string& name) const {
+  const auto it = tensors_.find(name);
+  return it == tensors_.end() ? nullptr : &it->second.data;
+}
+
+Bytes StateDict::TotalLogicalBytes() const {
+  Bytes total = 0;
+  for (const auto& [name, entry] : tensors_) {
+    total += entry.spec.ByteSize();
+  }
+  return total;
+}
+
+bool operator==(const StateDict& a, const StateDict& b) {
+  if (a.order_ != b.order_) {
+    return false;
+  }
+  for (const auto& [name, entry] : a.tensors_) {
+    const auto it = b.tensors_.find(name);
+    if (it == b.tensors_.end() || it->second.data != entry.data ||
+        it->second.spec.shape != entry.spec.shape ||
+        it->second.spec.dtype != entry.spec.dtype) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+constexpr std::array<uint8_t, 4> kMagic = {'G', 'M', 'S', 'D'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Append(std::vector<uint8_t>& out, const T& value) {
+  const size_t offset = out.size();
+  out.resize(offset + sizeof(T));
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+void AppendString(std::vector<uint8_t>& out, const std::string& value) {
+  Append(out, static_cast<uint32_t>(value.size()));
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+template <typename T>
+bool Read(const std::vector<uint8_t>& in, size_t& offset, T& value) {
+  if (offset + sizeof(T) > in.size()) {
+    return false;
+  }
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+bool ReadString(const std::vector<uint8_t>& in, size_t& offset, std::string& value) {
+  uint32_t length = 0;
+  if (!Read(in, offset, length) || offset + length > in.size()) {
+    return false;
+  }
+  value.assign(reinterpret_cast<const char*>(in.data()) + offset, length);
+  offset += length;
+  return true;
+}
+
+}  // namespace
+
+// GCC 12's inliner raises false-positive -Wstringop-overflow/-Warray-bounds
+// diagnostics for byte appends into a growing std::vector (GCC bug 105705).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+#pragma GCC diagnostic ignored "-Warray-bounds"
+#endif
+std::vector<uint8_t> SerializeStateDict(const StateDict& dict) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  Append(out, kVersion);
+  Append(out, static_cast<uint32_t>(dict.num_tensors()));
+  for (const std::string& name : dict.names()) {
+    const TensorSpec* spec = dict.FindSpec(name);
+    const std::vector<float>* data = dict.FindData(name);
+    AppendString(out, name);
+    Append(out, static_cast<uint8_t>(spec->dtype));
+    Append(out, static_cast<uint32_t>(spec->shape.size()));
+    for (const int64_t dim : spec->shape) {
+      Append(out, dim);
+    }
+    Append(out, static_cast<uint64_t>(data->size()));
+    const size_t offset = out.size();
+    out.resize(offset + data->size() * sizeof(float));
+    if (!data->empty()) {
+      std::memcpy(out.data() + offset, data->data(), data->size() * sizeof(float));
+    }
+  }
+  const uint32_t crc = Crc32(out.data(), out.size());
+  Append(out, crc);
+  return out;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+StatusOr<StateDict> DeserializeStateDict(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < kMagic.size() + sizeof(uint32_t) ||
+      std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    return DataLossError("state dict blob has bad magic");
+  }
+  const size_t body = bytes.size() - sizeof(uint32_t);
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + body, sizeof(uint32_t));
+  if (Crc32(bytes.data(), body) != stored_crc) {
+    return DataLossError("state dict blob failed CRC check");
+  }
+
+  size_t offset = kMagic.size();
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!Read(bytes, offset, version) || version != kVersion || !Read(bytes, offset, count)) {
+    return DataLossError("state dict blob has bad header");
+  }
+  StateDict dict;
+  for (uint32_t t = 0; t < count; ++t) {
+    TensorSpec spec;
+    uint8_t dtype = 0;
+    uint32_t rank = 0;
+    uint64_t elements = 0;
+    if (!ReadString(bytes, offset, spec.name) || !Read(bytes, offset, dtype) ||
+        !Read(bytes, offset, rank)) {
+      return DataLossError("state dict tensor header truncated");
+    }
+    spec.dtype = static_cast<DType>(dtype);
+    spec.shape.resize(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!Read(bytes, offset, spec.shape[d])) {
+        return DataLossError("state dict shape truncated");
+      }
+    }
+    if (!Read(bytes, offset, elements) || offset + elements * sizeof(float) > body) {
+      return DataLossError("state dict data truncated");
+    }
+    std::vector<float> data(elements);
+    if (elements > 0) {
+      std::memcpy(data.data(), bytes.data() + offset, elements * sizeof(float));
+      offset += elements * sizeof(float);
+    }
+    GEMINI_RETURN_IF_ERROR(dict.AddTensor(std::move(spec), std::move(data)));
+  }
+  return dict;
+}
+
+}  // namespace gemini

@@ -1,0 +1,50 @@
+// Calibration notes for the simulated substrate.
+//
+// The substrate does not try to predict performance from first principles;
+// it is *calibrated* so the paper's measured anchor points come out of the
+// model, then every experiment is derived from the calibrated model. The
+// anchors and the fitted constants:
+//
+//  1. GPT-2 100B, 16x p4d.24xlarge: iteration time 62 s (paper Section 7.2)
+//     and per-iteration network idle time ~12.5 s (Figure 8).
+//     -> effective_flops_per_gpu(A100) = 52e12 (about 17% MFU, consistent
+//        with ZeRO-3 at this scale), collective_efficiency(p4d) = 0.22 of
+//        the 400 Gb/s line rate for training collectives.
+//  2. GPT-2 40B, 16x p3dn.24xlarge: iteration time ~38 s (Figure 16
+//     Baseline) and idle time ~4-6 s (Figure 13b).
+//     -> effective_flops_per_gpu(V100) = 35e12,
+//        collective_efficiency(p3dn) = 0.5 of the 100 Gb/s line rate.
+//  3. Checkpoint point-to-point streams achieve full line rate; the paper
+//     measured both EFA and the GPU->CPU copy path at ~400 Gb/s on p4d
+//     (Section 5.2), reproduced by gpu_cpu_copy_bandwidth == NIC bandwidth.
+//  4. torch.save serialization: 81 s per 75 GiB machine replica (HighFreq,
+//     Section 7.3) -> ~1 GiB/s, in SerializationModel.
+//  5. FSx remote persistent storage: 20 Gb/s aggregate (Section 7.1); the
+//     MT-NLG sanity check (Section 2.2) — 530B params, 12 B/param, 20 Gb/s
+//     => 42 minutes — falls out of the same constants.
+//
+// FLOP accounting per GPU per iteration: forward 2*P*T, backward 4*P*T,
+// full activation recomputation adds 2*P*T, where P is the parameter count
+// and T the per-GPU tokens per iteration — 8*P*T total.
+#ifndef SRC_TRAINING_CALIBRATION_H_
+#define SRC_TRAINING_CALIBRATION_H_
+
+#include "src/common/units.h"
+
+namespace gemini {
+
+// FLOPs per parameter-token: forward.
+inline constexpr double kForwardFlopsPerParamToken = 2.0;
+// Backward is twice the forward cost.
+inline constexpr double kBackwardFlopsPerParamToken = 4.0;
+// Activation recomputation replays the forward pass during backward.
+inline constexpr double kRecomputeFlopsPerParamToken = 2.0;
+
+// Optimizer update is memory-bound: bytes touched per parameter (fp32 param,
+// momentum, variance read+write plus fp16 write) over effective HBM rate.
+inline constexpr double kUpdateBytesPerParam = 32.0;
+inline constexpr BytesPerSecond kUpdateMemoryBandwidth = 400e9;
+
+}  // namespace gemini
+
+#endif  // SRC_TRAINING_CALIBRATION_H_

@@ -1,0 +1,55 @@
+#include "src/training/model_config.h"
+
+namespace gemini {
+namespace {
+
+ModelConfig Make(std::string name, std::string architecture, double billions, int hidden,
+                 int intermediate, int layers, int heads) {
+  ModelConfig config;
+  config.name = std::move(name);
+  config.architecture = std::move(architecture);
+  config.nominal_params = static_cast<int64_t>(billions * 1e9);
+  config.hidden_size = hidden;
+  config.intermediate_size = intermediate;
+  config.num_layers = layers;
+  config.attention_heads = heads;
+  return config;
+}
+
+}  // namespace
+
+int64_t ModelConfig::FormulaParams() const {
+  const int64_t h = hidden_size;
+  const int64_t i = intermediate_size;
+  // Attention (QKV + output projections) + MLP (up + down), plus embeddings.
+  const int64_t per_layer = 4 * h * h + 2 * h * i;
+  return per_layer * num_layers + vocab_size * h;
+}
+
+ModelConfig Gpt2_10B() { return Make("GPT-2 10B", "GPT-2", 10, 2560, 10240, 46, 40); }
+ModelConfig Gpt2_20B() { return Make("GPT-2 20B", "GPT-2", 20, 5120, 20480, 64, 40); }
+ModelConfig Gpt2_40B() { return Make("GPT-2 40B", "GPT-2", 40, 5120, 20480, 128, 40); }
+ModelConfig Roberta_40B() { return Make("RoBERTa 40B", "RoBERTa", 40, 5120, 20480, 128, 40); }
+ModelConfig Bert_40B() { return Make("BERT 40B", "BERT", 40, 5120, 20480, 128, 40); }
+ModelConfig Gpt2_100B() { return Make("GPT-2 100B", "GPT-2", 100, 8192, 32768, 124, 64); }
+ModelConfig Roberta_100B() { return Make("RoBERTa 100B", "RoBERTa", 100, 8192, 32768, 124, 64); }
+ModelConfig Bert_100B() { return Make("BERT 100B", "BERT", 100, 8192, 32768, 124, 64); }
+
+const std::vector<ModelConfig>& Table2Models() {
+  static const std::vector<ModelConfig> models = {
+      Gpt2_10B(), Gpt2_20B(),    Gpt2_40B(),     Roberta_40B(),
+      Bert_40B(), Gpt2_100B(),   Roberta_100B(), Bert_100B(),
+  };
+  return models;
+}
+
+const ModelConfig* FindModel(const std::string& name) {
+  for (const auto& model : Table2Models()) {
+    if (model.name == name) {
+      return &model;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace gemini

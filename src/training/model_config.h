@@ -1,0 +1,73 @@
+// Large-language-model workload configurations (paper Table 2) and the
+// sizing math derived from them.
+//
+// Checkpoint sizing follows the paper: model states are parameters plus Adam
+// optimizer state; under ZeRO-3 with mixed precision the persisted states
+// are 12 bytes/parameter of fp32 master weights, momentum, and variance —
+// which reproduces the paper's 9.4 GB/GPU figure for GPT-2 100B on 128 GPUs.
+#ifndef SRC_TRAINING_MODEL_CONFIG_H_
+#define SRC_TRAINING_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace gemini {
+
+struct ModelConfig {
+  std::string name;          // e.g. "GPT-2 100B"
+  std::string architecture;  // "GPT-2" | "RoBERTa" | "BERT"
+  // Headline parameter count used for all sizing (the Table 2 label).
+  int64_t nominal_params = 0;
+  int hidden_size = 0;
+  int intermediate_size = 0;
+  int num_layers = 0;
+  int attention_heads = 0;
+  int64_t vocab_size = 50265;
+  int sequence_length = 512;
+  int micro_batch_size = 8;
+
+  // Persisted model states (params + Adam moments as fp32): 12 B/param.
+  static constexpr Bytes kCheckpointBytesPerParam = 12;
+  // fp16 working parameters moved by ZeRO-3 all-gathers: 2 B/param.
+  static constexpr Bytes kParamBytesFp16 = 2;
+
+  // Transformer formula count (4h^2 attention + 2*h*i MLP per layer, plus
+  // vocab embedding); used as a cross-check against nominal_params.
+  int64_t FormulaParams() const;
+
+  int64_t ParamsPerLayer() const { return nominal_params / num_layers; }
+  int64_t TokensPerGpuPerIteration() const {
+    return static_cast<int64_t>(micro_batch_size) * sequence_length;
+  }
+
+  Bytes CheckpointBytesTotal() const { return nominal_params * kCheckpointBytesPerParam; }
+  Bytes CheckpointBytesPerMachine(int num_machines) const {
+    return CheckpointBytesTotal() / num_machines;
+  }
+  Bytes CheckpointBytesPerGpu(int total_gpus) const {
+    return CheckpointBytesTotal() / total_gpus;
+  }
+};
+
+// Table 2 presets.
+ModelConfig Gpt2_10B();
+ModelConfig Gpt2_20B();
+ModelConfig Gpt2_40B();
+ModelConfig Roberta_40B();
+ModelConfig Bert_40B();
+ModelConfig Gpt2_100B();
+ModelConfig Roberta_100B();
+ModelConfig Bert_100B();
+
+// All Table 2 rows in paper order.
+const std::vector<ModelConfig>& Table2Models();
+
+// Looks up by name ("GPT-2 100B"); returns nullptr when absent.
+const ModelConfig* FindModel(const std::string& name);
+
+}  // namespace gemini
+
+#endif  // SRC_TRAINING_MODEL_CONFIG_H_

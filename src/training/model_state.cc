@@ -1,0 +1,30 @@
+#include "src/training/model_state.h"
+
+namespace gemini {
+
+std::vector<TensorSpec> BuildModelStateSpecs(const ModelConfig& model) {
+  std::vector<TensorSpec> specs;
+  const int64_t h = model.hidden_size;
+  const int64_t i = model.intermediate_size;
+  auto add_param = [&](const std::string& name, std::vector<int64_t> shape) {
+    // Each parameter tensor persists three fp32 copies: the master weights
+    // and both Adam moments.
+    for (const char* state : {"master", "exp_avg", "exp_avg_sq"}) {
+      specs.push_back(TensorSpec{name + "." + state, shape, DType::kFloat32});
+    }
+  };
+  add_param("embedding.word", {model.vocab_size, h});
+  for (int layer = 0; layer < model.num_layers; ++layer) {
+    const std::string prefix = "layers." + std::to_string(layer) + ".";
+    add_param(prefix + "attn.qkv", {3 * h, h});
+    add_param(prefix + "attn.out", {h, h});
+    add_param(prefix + "mlp.up", {i, h});
+    add_param(prefix + "mlp.down", {h, i});
+    add_param(prefix + "ln1", {h});
+    add_param(prefix + "ln2", {h});
+  }
+  add_param("final_ln", {h});
+  return specs;
+}
+
+}  // namespace gemini

@@ -1,0 +1,22 @@
+// Transformer model-state inventories built from Table 2 configurations.
+//
+// For every parameter tensor of the model, the persisted states are three
+// fp32 tensors (master weights, Adam exp_avg, Adam exp_avg_sq) — the
+// 12 bytes/parameter rule the paper's checkpoint sizing rests on, here
+// cross-checkable against an explicit tensor enumeration.
+#ifndef SRC_TRAINING_MODEL_STATE_H_
+#define SRC_TRAINING_MODEL_STATE_H_
+
+#include <vector>
+
+#include "src/storage/state_dict.h"
+#include "src/training/model_config.h"
+
+namespace gemini {
+
+// All persisted model-state tensors of the full (unsharded) model.
+std::vector<TensorSpec> BuildModelStateSpecs(const ModelConfig& model);
+
+}  // namespace gemini
+
+#endif  // SRC_TRAINING_MODEL_STATE_H_

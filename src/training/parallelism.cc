@@ -1,0 +1,139 @@
+#include "src/training/parallelism.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/collectives/collectives.h"
+#include "src/training/calibration.h"
+
+namespace gemini {
+
+std::string_view ParallelismStrategyName(ParallelismStrategy strategy) {
+  switch (strategy) {
+    case ParallelismStrategy::kZero3:
+      return "zero3";
+    case ParallelismStrategy::kDataParallel:
+      return "data_parallel";
+    case ParallelismStrategy::kPipelineParallel:
+      return "pipeline_parallel";
+  }
+  return "unknown";
+}
+
+IterationTimeline BuildDataParallelTimeline(const TimelineParams& params,
+                                            const DataParallelOptions& options) {
+  assert(params.num_machines >= 1);
+  assert(options.gradient_buckets >= 1);
+  const ModelConfig& model = params.model;
+  const InstanceSpec& instance = params.instance;
+  // Note: pure data parallelism requires the full replica to fit in one
+  // machine's accelerators; callers use it for the <=20B workloads.
+
+  const double total_params = static_cast<double>(model.nominal_params);
+  const double tokens = static_cast<double>(model.TokensPerGpuPerIteration());
+  const double flops = instance.effective_flops_per_gpu;
+  const TimeNs forward = Seconds(total_params * tokens * kForwardFlopsPerParamToken / flops);
+  const TimeNs backward = Seconds(total_params * tokens * kBackwardFlopsPerParamToken / flops);
+
+  RingCostModel ring;
+  ring.link_bandwidth = instance.network_bandwidth;
+  ring.alpha = params.comm_alpha;
+  ring.efficiency = instance.collective_efficiency;
+  const int buckets = options.gradient_buckets;
+  const Bytes bucket_bytes =
+      model.nominal_params * ModelConfig::kParamBytesFp16 / buckets;
+  const TimeNs bucket_allreduce = ring.AllReduceTime(bucket_bytes, params.num_machines);
+
+  IterationTimeline timeline;
+  // Forward: the network is silent. Backward: bucket k's gradients are ready
+  // after (k+1)/buckets of the backward pass; all-reduces queue FIFO on the
+  // NIC (DDP's overlap structure).
+  TimeNs net_free = 0;
+  TimeNs last_allreduce_end = 0;
+  for (int bucket = 0; bucket < buckets; ++bucket) {
+    const TimeNs ready = forward + backward * (bucket + 1) / buckets;
+    const TimeNs start = std::max(net_free, ready);
+    timeline.comm.push_back(
+        CommSegment{start, bucket_allreduce, CommKind::kGradReduceScatter, bucket});
+    net_free = start + bucket_allreduce;
+    last_allreduce_end = net_free;
+  }
+  timeline.update_start = std::max(forward + backward, last_allreduce_end);
+  timeline.update_duration = ComputeUpdateDuration(params);
+  timeline.iteration_time = timeline.update_start + timeline.update_duration;
+  timeline.idle_spans = ExtractIdleSpans(timeline.comm, timeline.iteration_time);
+  return timeline;
+}
+
+IterationTimeline BuildPipelineParallelTimeline(const TimelineParams& params,
+                                                const PipelineParallelOptions& options) {
+  assert(params.num_machines >= 1);
+  assert(options.num_microbatches >= 1);
+  const ModelConfig& model = params.model;
+  const InstanceSpec& instance = params.instance;
+  const int stages = params.num_machines;
+  const int microbatches = options.num_microbatches;
+
+  // Per-stage, per-microbatch compute. Every stage processes the *global*
+  // batch through its layer slice, using all of the machine's accelerators;
+  // total FLOPs per machine match the other strategies.
+  const double stage_params =
+      static_cast<double>(model.nominal_params) / static_cast<double>(stages);
+  const double global_tokens = static_cast<double>(model.TokensPerGpuPerIteration()) *
+                               static_cast<double>(stages) *
+                               static_cast<double>(instance.num_gpus);
+  const double micro_tokens = global_tokens / static_cast<double>(microbatches);
+  const double machine_flops =
+      instance.effective_flops_per_gpu * static_cast<double>(instance.num_gpus);
+  const TimeNs micro_forward =
+      Seconds(stage_params * micro_tokens * kForwardFlopsPerParamToken / machine_flops);
+  const TimeNs micro_backward =
+      Seconds(stage_params * micro_tokens * kBackwardFlopsPerParamToken / machine_flops);
+
+  // Activation (and activation-gradient) payload per microbatch boundary:
+  // tokens x hidden at fp16.
+  const Bytes activation_bytes = static_cast<Bytes>(
+      micro_tokens * static_cast<double>(model.hidden_size) * ModelConfig::kParamBytesFp16);
+  const TimeNs hop = params.comm_alpha + TransferTime(activation_bytes,
+                                                      instance.network_bandwidth *
+                                                          instance.collective_efficiency);
+
+  IterationTimeline timeline;
+  // Middle-stage view, serialized GPipe schedule: fill bubble, then per
+  // microbatch recv -> compute -> send, for forward then backward.
+  TimeNs cursor = (stages - 1) * (micro_forward + hop) / 2;  // Fill bubble (middle stage).
+  auto hop_segment = [&](CommKind kind, int index) {
+    timeline.comm.push_back(CommSegment{cursor, hop, kind, index});
+    cursor += hop;
+  };
+  for (int m = 0; m < microbatches; ++m) {
+    hop_segment(CommKind::kForwardAllGather, m);  // Activation in.
+    cursor += micro_forward;
+    hop_segment(CommKind::kForwardAllGather, m);  // Activation out.
+  }
+  for (int m = 0; m < microbatches; ++m) {
+    hop_segment(CommKind::kGradReduceScatter, m);  // Gradient in.
+    cursor += micro_backward;
+    hop_segment(CommKind::kGradReduceScatter, m);  // Gradient out.
+  }
+  cursor += (stages - 1) * (micro_backward + hop) / 2;  // Drain bubble.
+  timeline.update_start = cursor;
+  timeline.update_duration = ComputeUpdateDuration(params);
+  timeline.iteration_time = timeline.update_start + timeline.update_duration;
+  timeline.idle_spans = ExtractIdleSpans(timeline.comm, timeline.iteration_time);
+  return timeline;
+}
+
+IterationTimeline BuildTimelineFor(ParallelismStrategy strategy, const TimelineParams& params) {
+  switch (strategy) {
+    case ParallelismStrategy::kZero3:
+      return BuildZero3Timeline(params);
+    case ParallelismStrategy::kDataParallel:
+      return BuildDataParallelTimeline(params);
+    case ParallelismStrategy::kPipelineParallel:
+      return BuildPipelineParallelTimeline(params);
+  }
+  return BuildZero3Timeline(params);
+}
+
+}  // namespace gemini

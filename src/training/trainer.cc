@@ -1,0 +1,98 @@
+#include "src/training/trainer.h"
+
+#include <cassert>
+
+namespace gemini {
+namespace {
+
+// Deterministic per-element update delta derived from (seed, iteration,
+// rank, element) — a stand-in for a gradient step that makes divergence
+// detectable at single-bit resolution.
+float UpdateDelta(uint64_t seed, int64_t iteration, int rank, size_t element) {
+  uint64_t x = seed;
+  x ^= static_cast<uint64_t>(iteration) * 0x9E3779B97F4A7C15ULL;
+  x ^= (static_cast<uint64_t>(rank) + 1) * 0xBF58476D1CE4E5B9ULL;
+  x ^= (static_cast<uint64_t>(element) + 1) * 0x94D049BB133111EBULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  // Map to [-0.5, 0.5).
+  return static_cast<float>(static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5);
+}
+
+}  // namespace
+
+ShardedTrainer::ShardedTrainer(const ModelConfig& model, int num_machines, int payload_elements,
+                               uint64_t seed)
+    : model_(model), num_machines_(num_machines), seed_(seed) {
+  assert(num_machines >= 1);
+  assert(payload_elements >= 1);
+  shards_.resize(static_cast<size_t>(num_machines));
+  for (int rank = 0; rank < num_machines; ++rank) {
+    auto& shard = shards_[static_cast<size_t>(rank)];
+    shard.resize(static_cast<size_t>(payload_elements));
+    for (size_t i = 0; i < shard.size(); ++i) {
+      shard[i] = UpdateDelta(seed_, /*iteration=*/-1, rank, i);
+    }
+  }
+}
+
+void ShardedTrainer::Step() {
+  for (int rank = 0; rank < num_machines_; ++rank) {
+    auto& shard = shards_[static_cast<size_t>(rank)];
+    for (size_t i = 0; i < shard.size(); ++i) {
+      shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
+    }
+  }
+  ++iteration_;
+}
+
+const std::vector<float>& ShardedTrainer::shard(int rank) const {
+  return shards_.at(static_cast<size_t>(rank));
+}
+
+Checkpoint ShardedTrainer::MakeCheckpoint(int rank) const {
+  Checkpoint checkpoint;
+  checkpoint.owner_rank = rank;
+  checkpoint.iteration = iteration_;
+  checkpoint.logical_bytes = checkpoint_bytes_per_machine();
+  checkpoint.payload = shards_.at(static_cast<size_t>(rank));
+  return checkpoint;
+}
+
+Status ShardedTrainer::RestoreShard(const Checkpoint& checkpoint) {
+  if (checkpoint.owner_rank < 0 || checkpoint.owner_rank >= num_machines_) {
+    return InvalidArgumentError("checkpoint owner rank out of range");
+  }
+  auto& shard = shards_[static_cast<size_t>(checkpoint.owner_rank)];
+  if (checkpoint.payload.size() != shard.size()) {
+    return InvalidArgumentError("checkpoint payload size mismatch");
+  }
+  shard = checkpoint.payload;
+  return Status::Ok();
+}
+
+Status ShardedTrainer::RestoreAll(const std::vector<Checkpoint>& checkpoints) {
+  if (static_cast<int>(checkpoints.size()) != num_machines_) {
+    return InvalidArgumentError("need exactly one checkpoint per rank");
+  }
+  std::vector<bool> seen(static_cast<size_t>(num_machines_), false);
+  const int64_t iteration = checkpoints.front().iteration;
+  for (const Checkpoint& checkpoint : checkpoints) {
+    if (checkpoint.iteration != iteration) {
+      return FailedPreconditionError("inconsistent checkpoint set: mixed iterations");
+    }
+    if (checkpoint.owner_rank < 0 || checkpoint.owner_rank >= num_machines_ ||
+        seen[static_cast<size_t>(checkpoint.owner_rank)]) {
+      return InvalidArgumentError("checkpoint set does not cover each rank exactly once");
+    }
+    seen[static_cast<size_t>(checkpoint.owner_rank)] = true;
+  }
+  for (const Checkpoint& checkpoint : checkpoints) {
+    GEMINI_RETURN_IF_ERROR(RestoreShard(checkpoint));
+  }
+  iteration_ = iteration;
+  return Status::Ok();
+}
+
+}  // namespace gemini

@@ -1,0 +1,327 @@
+// Tests for machines, GPUs, the fabric, PCIe engines, and the instance
+// catalog (paper Table 1).
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/instance_spec.h"
+
+namespace gemini {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Instance catalog (Table 1)
+// ---------------------------------------------------------------------------
+
+TEST(InstanceCatalogTest, HasAllTable1Rows) {
+  EXPECT_EQ(InstanceCatalog().size(), 7u);
+  for (const char* name : {"p3dn.24xlarge", "p4d.24xlarge", "ND40rs_v2", "ND96asr_v4",
+                           "n1-8-v100", "a2-highgpu-8g", "DGX A100"}) {
+    EXPECT_NE(FindInstanceSpec(name), nullptr) << name;
+  }
+  EXPECT_EQ(FindInstanceSpec("bogus"), nullptr);
+}
+
+TEST(InstanceCatalogTest, P4dMatchesTable1) {
+  const InstanceSpec& spec = P4d24xlarge();
+  EXPECT_EQ(spec.num_gpus, 8);
+  EXPECT_EQ(spec.gpu_memory_per_gpu, GiB(40));
+  EXPECT_EQ(spec.cpu_memory, GiB(1152));
+  EXPECT_EQ(spec.gpu_model, "A100");
+  EXPECT_DOUBLE_EQ(BytesPerSecondToGbps(spec.network_bandwidth), 400.0);
+}
+
+TEST(InstanceCatalogTest, P3dnMatchesTable1) {
+  const InstanceSpec& spec = P3dn24xlarge();
+  EXPECT_EQ(spec.num_gpus, 8);
+  EXPECT_EQ(spec.gpu_memory_per_gpu, GiB(32));
+  EXPECT_EQ(spec.cpu_memory, GiB(768));
+  EXPECT_DOUBLE_EQ(BytesPerSecondToGbps(spec.network_bandwidth), 100.0);
+}
+
+TEST(InstanceCatalogTest, CpuMemoryExceedsGpuMemoryEverywhere) {
+  // Table 1's whole point: host DRAM dwarfs GPU memory, so checkpoints fit.
+  for (const InstanceSpec& spec : InstanceCatalog()) {
+    EXPECT_GT(spec.cpu_memory, spec.total_gpu_memory()) << spec.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gpu / Machine
+// ---------------------------------------------------------------------------
+
+TEST(GpuTest, AllocateAndFree) {
+  Gpu gpu(GiB(40));
+  EXPECT_EQ(gpu.free(), GiB(40));
+  EXPECT_TRUE(gpu.Allocate(GiB(30)).ok());
+  EXPECT_EQ(gpu.used(), GiB(30));
+  EXPECT_EQ(gpu.free(), GiB(10));
+  gpu.Free(GiB(10));
+  EXPECT_EQ(gpu.used(), GiB(20));
+}
+
+TEST(GpuTest, AllocateBeyondCapacityFails) {
+  Gpu gpu(GiB(40));
+  EXPECT_TRUE(gpu.Allocate(GiB(40)).ok());
+  const Status status = gpu.Allocate(1);
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(gpu.used(), GiB(40));  // Failed allocation leaves nothing behind.
+}
+
+TEST(MachineTest, BuildsGpusFromSpec) {
+  Machine machine(3, 0, P4d24xlarge());
+  EXPECT_EQ(machine.rank(), 3);
+  EXPECT_EQ(machine.incarnation(), 0);
+  EXPECT_EQ(machine.num_gpus(), 8);
+  EXPECT_EQ(machine.DebugName(), "rank3");
+  EXPECT_TRUE(machine.alive());
+  EXPECT_TRUE(machine.process_running());
+}
+
+TEST(MachineTest, HealthTransitions) {
+  Machine machine(0, 0, P4d24xlarge());
+  machine.set_health(MachineHealth::kProcessDown);
+  EXPECT_TRUE(machine.alive());
+  EXPECT_FALSE(machine.process_running());
+  machine.set_health(MachineHealth::kDead);
+  EXPECT_FALSE(machine.alive());
+  EXPECT_EQ(MachineHealthName(machine.health()), "dead");
+}
+
+TEST(MachineTest, AllocateOnAllGpusIsAtomic) {
+  Machine machine(0, 0, P4d24xlarge());
+  // Pre-fill one GPU so a machine-wide allocation must fail and roll back.
+  EXPECT_TRUE(machine.gpu(5).Allocate(GiB(39)).ok());
+  const Status status = machine.AllocateOnAllGpus(GiB(2));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  for (int i = 0; i < machine.num_gpus(); ++i) {
+    if (i != 5) {
+      EXPECT_EQ(machine.gpu(i).used(), 0) << "GPU " << i << " leaked a partial allocation";
+    }
+  }
+  EXPECT_TRUE(machine.AllocateOnAllGpus(GiB(1)).ok());
+  EXPECT_EQ(machine.min_free_gpu_memory(), 0);
+  machine.FreeOnAllGpus(GiB(1));
+}
+
+TEST(MachineTest, CpuMemoryAccounting) {
+  Machine machine(0, 0, P4d24xlarge());
+  EXPECT_TRUE(machine.AllocateCpuMemory(GiB(1000)).ok());
+  EXPECT_EQ(machine.cpu_memory_free(), GiB(152));
+  EXPECT_EQ(machine.AllocateCpuMemory(GiB(200)).code(), StatusCode::kResourceExhausted);
+  machine.FreeCpuMemory(GiB(1000));
+  EXPECT_EQ(machine.cpu_memory_used(), 0);
+}
+
+TEST(MachineTest, IncarnationShowsInDebugName) {
+  Machine machine(2, 2, P4d24xlarge());
+  EXPECT_EQ(machine.DebugName(), "rank2''");
+}
+
+// ---------------------------------------------------------------------------
+// Fabric
+// ---------------------------------------------------------------------------
+
+class FabricTest : public ::testing::Test {
+ protected:
+  FabricTest() {
+    FabricConfig config;
+    config.link_bandwidth = 1e9;  // 1 GB/s for easy arithmetic.
+    config.alpha = Micros(10);
+    fabric_ = std::make_unique<Fabric>(sim_, 4, config);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<Fabric> fabric_;
+};
+
+TEST_F(FabricTest, TransferTakesAlphaPlusSizeOverBandwidth) {
+  TimeNs done_at = -1;
+  fabric_->Transfer(0, 1, 1'000'000'000, {}, [&](Status status) {
+    EXPECT_TRUE(status.ok());
+    done_at = sim_.now();
+  });
+  sim_.Run();
+  EXPECT_EQ(done_at, Seconds(1) + Micros(10));
+}
+
+TEST_F(FabricTest, TransfersOnSameNicSerialize) {
+  std::vector<TimeNs> completions;
+  for (int i = 0; i < 3; ++i) {
+    fabric_->Transfer(0, 1, 1'000'000'000, {}, [&](Status) {
+      completions.push_back(sim_.now());
+    });
+  }
+  sim_.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Seconds(1) + Micros(10));
+  EXPECT_EQ(completions[1], Seconds(2) + Micros(20));
+  EXPECT_EQ(completions[2], Seconds(3) + Micros(30));
+}
+
+TEST_F(FabricTest, DisjointPairsRunInParallel) {
+  std::vector<TimeNs> completions;
+  fabric_->Transfer(0, 1, 1'000'000'000, {}, [&](Status) { completions.push_back(sim_.now()); });
+  fabric_->Transfer(2, 3, 1'000'000'000, {}, [&](Status) { completions.push_back(sim_.now()); });
+  sim_.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], completions[1]);
+}
+
+TEST_F(FabricTest, ReceiverRxBlocksSecondSender) {
+  // Rank 1's RX is a resource too: two senders to rank 1 serialize.
+  std::vector<TimeNs> completions;
+  fabric_->Transfer(0, 1, 1'000'000'000, {}, [&](Status) { completions.push_back(sim_.now()); });
+  fabric_->Transfer(2, 1, 1'000'000'000, {}, [&](Status) { completions.push_back(sim_.now()); });
+  sim_.Run();
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_GT(completions[1], completions[0]);
+}
+
+TEST_F(FabricTest, EfficiencyScalesDuration) {
+  Fabric::TransferOptions options;
+  options.bandwidth_efficiency = 0.5;
+  TimeNs done_at = -1;
+  fabric_->Transfer(0, 1, 1'000'000'000, options, [&](Status) { done_at = sim_.now(); });
+  sim_.Run();
+  EXPECT_EQ(done_at, Seconds(2) + Micros(10));
+}
+
+TEST_F(FabricTest, DeadEndpointFailsTransfer) {
+  bool dead = false;
+  fabric_->set_liveness_check([&](int rank) { return rank != 1 || !dead; });
+  Status result;
+  fabric_->Transfer(0, 1, 1'000'000'000, {}, [&](Status status) { result = status; });
+  // Kill the receiver mid-transfer.
+  sim_.ScheduleAt(Millis(500), [&] { dead = true; });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FabricTest, BusyAccountingAccumulates) {
+  fabric_->Transfer(0, 1, 2'000'000'000, {}, [](Status) {});
+  sim_.Run();
+  EXPECT_EQ(fabric_->TxBusyTotal(0), Seconds(2) + Micros(10));
+  EXPECT_EQ(fabric_->RxBusyTotal(1), Seconds(2) + Micros(10));
+  EXPECT_EQ(fabric_->TxBusyTotal(1), 0);
+}
+
+TEST_F(FabricTest, ControlMessageDeliveredWithDelay) {
+  TimeNs delivered_at = -1;
+  fabric_->SendControl(0, 1, [&] { delivered_at = sim_.now(); });
+  sim_.Run();
+  EXPECT_EQ(delivered_at, Micros(50));
+}
+
+TEST_F(FabricTest, ControlMessageDroppedWhenDestinationDead) {
+  bool dead = false;
+  fabric_->set_liveness_check([&](int rank) { return rank != 1 || !dead; });
+  dead = true;
+  bool delivered = false;
+  fabric_->SendControl(0, 1, [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(FabricTest, EarliestStartReflectsQueue) {
+  EXPECT_EQ(fabric_->EarliestStart(0, 1), 0);
+  fabric_->Transfer(0, 1, 1'000'000'000, {}, [](Status) {});
+  EXPECT_EQ(fabric_->EarliestStart(0, 1), Seconds(1) + Micros(10));
+  EXPECT_EQ(fabric_->EarliestStart(2, 3), 0);
+}
+
+TEST_F(FabricTest, PartitionFailsBulkTransfers) {
+  fabric_->set_partition_check([](int src, int dst) {
+    // {0,1} | {2,3} split.
+    return (src < 2) == (dst < 2);
+  });
+  Status across;
+  Status within;
+  fabric_->Transfer(0, 2, 1000, {}, [&](Status status) { across = status; });
+  fabric_->Transfer(0, 1, 1000, {}, [&](Status status) { within = status; });
+  sim_.Run();
+  EXPECT_EQ(across.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(within.ok());
+}
+
+TEST_F(FabricTest, PartitionDropsControlMessages) {
+  fabric_->set_partition_check([](int src, int dst) { return (src < 2) == (dst < 2); });
+  bool across = false;
+  bool within = false;
+  fabric_->SendControl(0, 3, [&] { across = true; });
+  fabric_->SendControl(2, 3, [&] { within = true; });
+  sim_.Run();
+  EXPECT_FALSE(across);
+  EXPECT_TRUE(within);
+}
+
+TEST_F(FabricTest, HealingPartitionRestoresDelivery) {
+  fabric_->set_partition_check([](int, int) { return false; });
+  bool delivered = false;
+  fabric_->SendControl(0, 1, [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_FALSE(delivered);
+  fabric_->set_partition_check(nullptr);
+  fabric_->SendControl(0, 1, [&] { delivered = true; });
+  sim_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(FabricTest, LocalCompletesAfterDuration) {
+  TimeNs done_at = -1;
+  fabric_->Local(Millis(7), [&](Status status) {
+    EXPECT_TRUE(status.ok());
+    done_at = sim_.now();
+  });
+  sim_.Run();
+  EXPECT_EQ(done_at, Millis(7));
+}
+
+// ---------------------------------------------------------------------------
+// PcieEngine / Cluster
+// ---------------------------------------------------------------------------
+
+TEST(PcieEngineTest, CopiesSerializePerRank) {
+  Simulator sim;
+  PcieEngine pcie(sim, 2, {1e9, 2e9});
+  std::vector<TimeNs> completions;
+  pcie.Copy(0, 1'000'000'000, [&](Status) { completions.push_back(sim.now()); });
+  pcie.Copy(0, 1'000'000'000, [&](Status) { completions.push_back(sim.now()); });
+  pcie.Copy(1, 1'000'000'000, [&](Status) { completions.push_back(sim.now()); });
+  sim.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], Millis(500));   // Rank 1 at 2 GB/s finishes first.
+  EXPECT_EQ(completions[1], Seconds(1));    // Rank 0 first copy.
+  EXPECT_EQ(completions[2], Seconds(2));    // Rank 0 second copy queued behind.
+  EXPECT_EQ(pcie.BusyTotal(0), Seconds(2));
+}
+
+TEST(ClusterTest, BuildsMachinesAndWiresLiveness) {
+  Simulator sim;
+  Cluster cluster(sim, 4, P4d24xlarge(), FabricConfig{});
+  EXPECT_EQ(cluster.size(), 4);
+  EXPECT_EQ(cluster.num_alive(), 4);
+  cluster.machine(2).set_health(MachineHealth::kDead);
+  EXPECT_EQ(cluster.num_alive(), 3);
+  EXPECT_EQ(cluster.DeadRanks(), (std::vector<int>{2}));
+
+  // Fabric refuses transfers touching the dead machine.
+  Status result;
+  cluster.fabric().Transfer(0, 2, 1000, {}, [&](Status status) { result = status; });
+  sim.Run();
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+}
+
+TEST(ClusterTest, ReplaceMachineBumpsIncarnation) {
+  Simulator sim;
+  Cluster cluster(sim, 4, P4d24xlarge(), FabricConfig{});
+  cluster.machine(1).set_health(MachineHealth::kDead);
+  Machine& fresh = cluster.ReplaceMachine(1);
+  EXPECT_EQ(fresh.rank(), 1);
+  EXPECT_EQ(fresh.incarnation(), 1);
+  EXPECT_TRUE(fresh.alive());
+  EXPECT_EQ(cluster.num_alive(), 4);
+  EXPECT_EQ(fresh.cpu_memory_used(), 0);  // New DRAM.
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,367 @@
+// Tests for src/common: status, units, rng, stats, crc32, table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/table_printer.h"
+#include "src/common/units.h"
+
+namespace gemini {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status status = NotFoundError("missing thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "missing thing");
+  EXPECT_EQ(status.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, EveryFactoryProducesMatchingCode) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(NotFoundError("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPreconditionError("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(UnavailableError("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(DataLossError("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(DeadlineExceededError("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(AbortedError("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(UnimplementedError("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("a"));
+  EXPECT_FALSE(NotFoundError("a") == NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == InternalError("a"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value_or(0), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = InternalError("boom");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> result = std::string("payload");
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) {
+    return InvalidArgumentError("odd");
+  }
+  return x / 2;
+}
+
+Status UseMacros(int x, int& out) {
+  GEMINI_ASSIGN_OR_RETURN(const int half, Half(x));
+  GEMINI_RETURN_IF_ERROR(Status::Ok());
+  out = half;
+  return Status::Ok();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(10, out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseMacros(3, out).code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Units
+// ---------------------------------------------------------------------------
+
+TEST(UnitsTest, ByteConstants) {
+  EXPECT_EQ(kKiB, 1024);
+  EXPECT_EQ(kMiB, 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2LL * 1024 * 1024 * 1024);
+  EXPECT_EQ(MiB(1.5), 1536 * 1024);
+}
+
+TEST(UnitsTest, TimeConstants) {
+  EXPECT_EQ(Seconds(1), kSecond);
+  EXPECT_EQ(Minutes(2), 120 * kSecond);
+  EXPECT_EQ(Hours(1), 3600 * kSecond);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(1500)), 1.5);
+}
+
+TEST(UnitsTest, BandwidthConversionRoundTrips) {
+  const BytesPerSecond bw = GbpsToBytesPerSecond(400);
+  EXPECT_DOUBLE_EQ(bw, 50e9);
+  EXPECT_DOUBLE_EQ(BytesPerSecondToGbps(bw), 400.0);
+}
+
+TEST(UnitsTest, TransferTimeMatchesArithmetic) {
+  // 50 GB at 50 GB/s = 1 s.
+  EXPECT_EQ(TransferTime(50'000'000'000, 50e9), kSecond);
+  EXPECT_EQ(TransferTime(0, 1e9), 0);
+}
+
+TEST(UnitsTest, TransferTimeRoundsUp) {
+  // 1 byte at 1 GB/s is 1 ns exactly; 3 bytes at 2 GB/s rounds up to 2 ns.
+  EXPECT_EQ(TransferTime(1, 1e9), 1);
+  EXPECT_EQ(TransferTime(3, 2e9), 2);
+}
+
+TEST(UnitsTest, FormatBytesPicksUnit) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2 * kKiB), "2.00 KiB");
+  EXPECT_EQ(FormatBytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(FormatBytes(GiB(9.4)), "9.40 GiB");
+}
+
+TEST(UnitsTest, FormatDurationPicksUnit) {
+  EXPECT_EQ(FormatDuration(500), "500 ns");
+  EXPECT_EQ(FormatDuration(Micros(12)), "12.000 us");
+  EXPECT_EQ(FormatDuration(Millis(3)), "3.000 ms");
+  EXPECT_EQ(FormatDuration(Seconds(62)), "1.03 min");
+  EXPECT_EQ(FormatDuration(Hours(3)), "3.00 h");
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a.NextU64() != b.NextU64()) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, NextU64BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextU64Below(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialHasExpectedMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    sum += rng.Exponential(2.0);
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, NormalHasExpectedMoments) {
+  Rng rng(17);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.Add(rng.Normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(stat.mean(), 5.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    hits += rng.Bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<int> sample = rng.SampleWithoutReplacement(10, 4);
+    ASSERT_EQ(sample.size(), 4u);
+    std::set<int> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 4u);
+    for (const int v : sample) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 10);
+    }
+  }
+}
+
+TEST(RngTest, SampleFullPopulationIsPermutation) {
+  Rng rng(23);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(6, 6);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(RngTest, ShuffleKeepsElements) {
+  Rng rng(25);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng forked = a.Fork();
+  EXPECT_NE(a.NextU64(), forked.NextU64());
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, BasicMoments) {
+  RunningStat stat;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    stat.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(stat.min(), 2.0);
+  EXPECT_EQ(stat.max(), 9.0);
+  EXPECT_EQ(stat.sum(), 40.0);
+}
+
+TEST(RunningStatTest, NormalizedStddev) {
+  RunningStat stat;
+  stat.Add(9.0);
+  stat.Add(11.0);
+  EXPECT_NEAR(stat.normalized_stddev(), std::sqrt(2.0) / 10.0, 1e-12);
+}
+
+TEST(QuantileSketchTest, QuantilesOfKnownData) {
+  QuantileSketch sketch;
+  for (int i = 1; i <= 100; ++i) {
+    sketch.Add(i);
+  }
+  EXPECT_NEAR(sketch.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(sketch.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(sketch.Quantile(0.5), 50.5, 1e-9);
+}
+
+TEST(QuantileSketchTest, InterleavedAddAndQuery) {
+  QuantileSketch sketch;
+  sketch.Add(10.0);
+  EXPECT_EQ(sketch.Quantile(0.5), 10.0);
+  sketch.Add(20.0);
+  EXPECT_EQ(sketch.Quantile(1.0), 20.0);
+}
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const uint32_t oneshot = Crc32(data.data(), data.size());
+  uint32_t crc = 0;
+  crc = Crc32Update(crc, data.data(), 10);
+  crc = Crc32Update(crc, data.data() + 10, data.size() - 10);
+  EXPECT_EQ(crc, oneshot);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string data = "checkpoint payload bytes";
+  const uint32_t clean = Crc32(data.data(), data.size());
+  data[5] ^= 1;
+  EXPECT_NE(Crc32(data.data(), data.size()), clean);
+}
+
+// ---------------------------------------------------------------------------
+// TablePrinter
+// ---------------------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"long-name", "22"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name      | value"), std::string::npos);
+  EXPECT_NE(out.find("long-name | 22"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsMissingCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NE(table.ToString().find("1"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(static_cast<int64_t>(42)), "42");
+}
+
+}  // namespace
+}  // namespace gemini

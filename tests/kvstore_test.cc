@@ -1,0 +1,425 @@
+// Tests for the replicated key-value store: Raft-style election and
+// replication, leases/TTL, watches, failover, and catch-up after reset.
+#include <gtest/gtest.h>
+
+#include "src/cluster/fabric.h"
+#include "src/kvstore/kv_store.h"
+#include "src/sim/simulator.h"
+
+namespace gemini {
+namespace {
+
+class KvStoreTest : public ::testing::Test {
+ protected:
+  explicit KvStoreTest(int nodes = 3) : alive_(16, true) {
+    FabricConfig config;
+    fabric_ = std::make_unique<Fabric>(sim_, 16, config);
+    fabric_->set_liveness_check(
+        [this](int rank) { return alive_[static_cast<size_t>(rank)]; });
+    std::vector<int> ranks;
+    for (int i = 0; i < nodes; ++i) {
+      ranks.push_back(i);
+    }
+    kv_ = std::make_unique<KvStoreCluster>(
+        sim_, *fabric_, ranks, [this](int rank) { return alive_[static_cast<size_t>(rank)]; },
+        KvStoreConfig{}, /*seed=*/1234);
+    kv_->Start();
+  }
+
+  // Runs until a leader exists (or fails the test).
+  void AwaitLeader() {
+    for (int i = 0; i < 100 && !kv_->LeaderRank().has_value(); ++i) {
+      sim_.RunUntil(sim_.now() + Millis(100));
+    }
+    ASSERT_TRUE(kv_->LeaderRank().has_value()) << "no leader elected";
+  }
+
+  void Settle(TimeNs duration = Seconds(1)) { sim_.RunUntil(sim_.now() + duration); }
+
+  Simulator sim_;
+  std::vector<bool> alive_;
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<KvStoreCluster> kv_;
+};
+
+TEST_F(KvStoreTest, ElectsExactlyOneLeader) {
+  AwaitLeader();
+  int leaders = 0;
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    if (kv_->node(i).role() == KvNode::Role::kLeader) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1);
+}
+
+TEST_F(KvStoreTest, PutThenGet) {
+  AwaitLeader();
+  Status put_result = InternalError("pending");
+  kv_->Put("/k", "v", kNoLease, [&](Status status) { put_result = status; });
+  Settle();
+  EXPECT_TRUE(put_result.ok()) << put_result;
+  const StatusOr<KvEntry> entry = kv_->Get("/k");
+  ASSERT_TRUE(entry.ok()) << entry.status();
+  EXPECT_EQ(entry->value, "v");
+  EXPECT_EQ(entry->lease, kNoLease);
+}
+
+TEST_F(KvStoreTest, GetMissingKeyIsNotFound) {
+  AwaitLeader();
+  EXPECT_EQ(kv_->Get("/nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvStoreTest, PutBeforeLeaderElectedFailsUnavailable) {
+  // No settling: immediately propose.
+  Status result = Status::Ok();
+  kv_->Put("/k", "v", kNoLease, [&](Status status) { result = status; });
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(KvStoreTest, OverwriteUpdatesValueAndModIndex) {
+  AwaitLeader();
+  kv_->Put("/k", "v1", kNoLease, [](Status) {});
+  Settle();
+  const uint64_t first_index = kv_->Get("/k")->mod_index;
+  kv_->Put("/k", "v2", kNoLease, [](Status) {});
+  Settle();
+  const StatusOr<KvEntry> entry = kv_->Get("/k");
+  EXPECT_EQ(entry->value, "v2");
+  EXPECT_GT(entry->mod_index, first_index);
+}
+
+TEST_F(KvStoreTest, DeleteRemovesKey) {
+  AwaitLeader();
+  kv_->Put("/k", "v", kNoLease, [](Status) {});
+  Settle();
+  kv_->Delete("/k", [](Status) {});
+  Settle();
+  EXPECT_EQ(kv_->Get("/k").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvStoreTest, ListReturnsPrefixMatchesOnly) {
+  AwaitLeader();
+  kv_->Put("/health/0", "ok", kNoLease, [](Status) {});
+  kv_->Put("/health/1", "ok", kNoLease, [](Status) {});
+  kv_->Put("/other", "x", kNoLease, [](Status) {});
+  Settle();
+  const auto entries = kv_->List("/health/");
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries.contains("/health/0"));
+  EXPECT_TRUE(entries.contains("/health/1"));
+}
+
+TEST_F(KvStoreTest, CommittedStateReplicatesToFollowers) {
+  AwaitLeader();
+  kv_->Put("/k", "v", kNoLease, [](Status) {});
+  Settle(Seconds(2));
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    const auto entry = kv_->node(i).GetApplied("/k");
+    ASSERT_TRUE(entry.has_value()) << "node " << i << " missing the committed key";
+    EXPECT_EQ(entry->value, "v");
+  }
+}
+
+TEST_F(KvStoreTest, PutIfAbsentFirstWriterWins) {
+  AwaitLeader();
+  kv_->PutIfAbsent("/root", "worker-3", kNoLease, [](Status) {});
+  kv_->PutIfAbsent("/root", "worker-7", kNoLease, [](Status) {});
+  Settle();
+  EXPECT_EQ(kv_->Get("/root")->value, "worker-3");
+}
+
+TEST_F(KvStoreTest, PutIfAbsentAfterDeleteSucceeds) {
+  AwaitLeader();
+  kv_->PutIfAbsent("/root", "a", kNoLease, [](Status) {});
+  Settle();
+  kv_->Delete("/root", [](Status) {});
+  Settle();
+  kv_->PutIfAbsent("/root", "b", kNoLease, [](Status) {});
+  Settle();
+  EXPECT_EQ(kv_->Get("/root")->value, "b");
+}
+
+TEST_F(KvStoreTest, LeaseGrantReturnsId) {
+  AwaitLeader();
+  StatusOr<LeaseId> granted = InternalError("pending");
+  kv_->LeaseGrant(Seconds(5), [&](StatusOr<LeaseId> lease) { granted = std::move(lease); });
+  Settle();
+  ASSERT_TRUE(granted.ok()) << granted.status();
+  EXPECT_GT(*granted, 0u);
+}
+
+TEST_F(KvStoreTest, LeaseExpiryDeletesAttachedKeys) {
+  AwaitLeader();
+  StatusOr<LeaseId> granted = InternalError("pending");
+  kv_->LeaseGrant(Seconds(2), [&](StatusOr<LeaseId> lease) { granted = std::move(lease); });
+  Settle();
+  ASSERT_TRUE(granted.ok());
+  kv_->Put("/health/9", "ok", *granted, [](Status) {});
+  Settle();
+  EXPECT_TRUE(kv_->Get("/health/9").ok());
+  // Let the lease expire (no keepalive).
+  Settle(Seconds(4));
+  EXPECT_EQ(kv_->Get("/health/9").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvStoreTest, KeepAliveExtendsLease) {
+  AwaitLeader();
+  StatusOr<LeaseId> granted = InternalError("pending");
+  kv_->LeaseGrant(Seconds(2), [&](StatusOr<LeaseId> lease) { granted = std::move(lease); });
+  Settle();
+  kv_->Put("/health/9", "ok", *granted, [](Status) {});
+  Settle();
+  // Keep alive every second for 6 seconds; key must survive.
+  for (int i = 0; i < 6; ++i) {
+    kv_->LeaseKeepAlive(*granted, [](Status) {});
+    Settle(Seconds(1));
+  }
+  EXPECT_TRUE(kv_->Get("/health/9").ok());
+}
+
+TEST_F(KvStoreTest, LeaseRevokeDeletesKeysImmediately) {
+  AwaitLeader();
+  StatusOr<LeaseId> granted = InternalError("pending");
+  kv_->LeaseGrant(Hours(1), [&](StatusOr<LeaseId> lease) { granted = std::move(lease); });
+  Settle();
+  kv_->Put("/a", "1", *granted, [](Status) {});
+  kv_->Put("/b", "2", *granted, [](Status) {});
+  Settle();
+  kv_->LeaseRevoke(*granted, [](Status) {});
+  Settle();
+  EXPECT_EQ(kv_->Get("/a").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(kv_->Get("/b").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(KvStoreTest, WatchSeesPutAndDelete) {
+  AwaitLeader();
+  std::vector<WatchEvent> events;
+  kv_->Watch("/health/", [&](const WatchEvent& event) { events.push_back(event); });
+  kv_->Put("/health/3", "ok", kNoLease, [](Status) {});
+  kv_->Put("/unrelated", "x", kNoLease, [](Status) {});
+  Settle();
+  kv_->Delete("/health/3", [](Status) {});
+  Settle();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, WatchEventType::kPut);
+  EXPECT_EQ(events[0].key, "/health/3");
+  EXPECT_EQ(events[0].value, "ok");
+  EXPECT_EQ(events[1].type, WatchEventType::kDelete);
+}
+
+TEST_F(KvStoreTest, WatchSeesLeaseExpiry) {
+  AwaitLeader();
+  std::vector<WatchEvent> events;
+  kv_->Watch("/health/", [&](const WatchEvent& event) { events.push_back(event); });
+  StatusOr<LeaseId> granted = InternalError("pending");
+  kv_->LeaseGrant(Seconds(1), [&](StatusOr<LeaseId> lease) { granted = std::move(lease); });
+  Settle();
+  kv_->Put("/health/5", "ok", *granted, [](Status) {});
+  Settle(Seconds(3));
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events.back().type, WatchEventType::kExpired);
+  EXPECT_EQ(events.back().key, "/health/5");
+}
+
+TEST_F(KvStoreTest, CancelledWatchStopsDelivering) {
+  AwaitLeader();
+  int count = 0;
+  const uint64_t id = kv_->Watch("/k", [&](const WatchEvent&) { ++count; });
+  kv_->Put("/k", "1", kNoLease, [](Status) {});
+  Settle();
+  kv_->CancelWatch(id);
+  kv_->Put("/k", "2", kNoLease, [](Status) {});
+  Settle();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(KvStoreTest, LeaderFailoverElectsNewLeaderAndKeepsData) {
+  AwaitLeader();
+  kv_->Put("/k", "v", kNoLease, [](Status) {});
+  Settle();
+  const int old_leader = *kv_->LeaderRank();
+  alive_[static_cast<size_t>(old_leader)] = false;
+  // A new leader emerges among the survivors.
+  for (int i = 0; i < 100; ++i) {
+    Settle(Millis(200));
+    const auto leader = kv_->LeaderRank();
+    if (leader.has_value() && *leader != old_leader) {
+      break;
+    }
+  }
+  const auto leader = kv_->LeaderRank();
+  ASSERT_TRUE(leader.has_value());
+  EXPECT_NE(*leader, old_leader);
+  // Committed data survived the failover.
+  EXPECT_EQ(kv_->Get("/k")->value, "v");
+  // And the store still accepts writes.
+  Status result = InternalError("pending");
+  kv_->Put("/k2", "v2", kNoLease, [&](Status status) { result = status; });
+  Settle();
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(KvStoreTest, NoQuorumMeansNoLeader) {
+  AwaitLeader();
+  alive_[0] = false;
+  alive_[1] = false;
+  Settle(Seconds(5));
+  EXPECT_FALSE(kv_->LeaderRank().has_value());
+}
+
+TEST_F(KvStoreTest, ResetNodeCatchesUpFromLeader) {
+  AwaitLeader();
+  for (int i = 0; i < 5; ++i) {
+    kv_->Put("/key/" + std::to_string(i), "v", kNoLease, [](Status) {});
+  }
+  Settle(Seconds(2));
+  // Find a follower, wipe it (machine replacement), let it catch up.
+  int follower = -1;
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    if (kv_->node(i).role() != KvNode::Role::kLeader) {
+      follower = i;
+      break;
+    }
+  }
+  ASSERT_GE(follower, 0);
+  kv_->node(follower).ResetAndRestart();
+  EXPECT_TRUE(kv_->node(follower).applied_state().empty());
+  Settle(Seconds(3));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(kv_->node(follower).GetApplied("/key/" + std::to_string(i)).has_value())
+        << "follower missed /key/" << i << " after catch-up";
+  }
+}
+
+TEST_F(KvStoreTest, ManyWritesAllCommitInOrder) {
+  AwaitLeader();
+  int completed = 0;
+  for (int i = 0; i < 50; ++i) {
+    kv_->Put("/seq", std::to_string(i), kNoLease, [&](Status status) {
+      if (status.ok()) {
+        ++completed;
+      }
+    });
+    Settle(Millis(300));
+  }
+  EXPECT_EQ(completed, 50);
+  EXPECT_EQ(kv_->Get("/seq")->value, "49");
+}
+
+TEST_F(KvStoreTest, PartitionedLeaderStepsAside) {
+  AwaitLeader();
+  kv_->Put("/k", "v", kNoLease, [](Status) {});
+  Settle();
+  const int old_leader = *kv_->LeaderRank();
+  // Cut the leader off from both followers (it stays alive).
+  fabric_->set_partition_check([old_leader](int src, int dst) {
+    return src != old_leader && dst != old_leader;
+  });
+  // The majority side elects a new leader.
+  int new_leader = -1;
+  for (int i = 0; i < 200; ++i) {
+    Settle(Millis(200));
+    const auto leader = kv_->LeaderRank();
+    if (leader.has_value() && *leader != old_leader) {
+      new_leader = *leader;
+      break;
+    }
+  }
+  ASSERT_GE(new_leader, 0) << "majority side failed to elect";
+  // Writes commit on the majority side while the partition persists.
+  Status write = InternalError("pending");
+  kv_->Put("/k2", "v2", kNoLease, [&](Status status) { write = status; });
+  Settle(Seconds(2));
+  EXPECT_TRUE(write.ok()) << write;
+  // Heal the partition: the old leader rejoins as follower and converges.
+  fabric_->set_partition_check(nullptr);
+  Settle(Seconds(5));
+  int leaders = 0;
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    if (kv_->node(i).role() == KvNode::Role::kLeader) {
+      ++leaders;
+    }
+  }
+  EXPECT_EQ(leaders, 1) << "healed cluster must converge to one leader";
+  EXPECT_EQ(kv_->Get("/k")->value, "v");
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    EXPECT_TRUE(kv_->node(i).GetApplied("/k").has_value())
+        << "node " << i << " diverged after heal";
+  }
+}
+
+TEST_F(KvStoreTest, MinoritySideCannotCommit) {
+  AwaitLeader();
+  const int leader = *kv_->LeaderRank();
+  // Isolate the leader alone; immediately propose through it.
+  fabric_->set_partition_check([leader](int src, int dst) {
+    return src != leader && dst != leader;
+  });
+  Status result = Status::Ok();
+  bool called = false;
+  KvOp op;
+  op.type = KvOpType::kPut;
+  op.key = "/stranded";
+  op.value = "x";
+  kv_->node(leader).Propose(std::move(op), [&](Status status) {
+    called = true;
+    result = status;
+  });
+  // The majority side elects a new leader and commits an entry at a higher
+  // term — Raft's condition for the stranded entry to be overwritten rather
+  // than (legally) committed later.
+  for (int i = 0; i < 200; ++i) {
+    Settle(Millis(200));
+    const auto current = kv_->LeaderRank();
+    if (current.has_value() && *current != leader) {
+      break;
+    }
+  }
+  ASSERT_TRUE(kv_->LeaderRank().has_value());
+  kv_->Put("/majority", "y", kNoLease, [](Status) {});
+  Settle(Seconds(2));
+  // Heal: the deposed leader learns of the higher term; its log suffix is
+  // truncated and its pending proposal answered pessimistically.
+  fabric_->set_partition_check(nullptr);
+  Settle(Seconds(5));
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(kv_->Get("/stranded").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(kv_->Get("/majority")->value, "y");
+}
+
+class SingleNodeKvTest : public KvStoreTest {
+ protected:
+  SingleNodeKvTest() : KvStoreTest(1) {}
+};
+
+TEST_F(SingleNodeKvTest, SingleNodeClusterCommitsAlone) {
+  AwaitLeader();
+  Status result = InternalError("pending");
+  kv_->Put("/k", "v", kNoLease, [&](Status status) { result = status; });
+  Settle();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(kv_->Get("/k")->value, "v");
+}
+
+class FiveNodeKvTest : public KvStoreTest {
+ protected:
+  FiveNodeKvTest() : KvStoreTest(5) {}
+};
+
+TEST_F(FiveNodeKvTest, SurvivesTwoNodeFailures) {
+  AwaitLeader();
+  kv_->Put("/k", "v", kNoLease, [](Status) {});
+  Settle();
+  alive_[static_cast<size_t>(*kv_->LeaderRank())] = false;
+  Settle(Seconds(3));
+  ASSERT_TRUE(kv_->LeaderRank().has_value());
+  alive_[static_cast<size_t>(*kv_->LeaderRank())] = false;
+  Settle(Seconds(3));
+  ASSERT_TRUE(kv_->LeaderRank().has_value());
+  EXPECT_EQ(kv_->Get("/k")->value, "v");
+}
+
+}  // namespace
+}  // namespace gemini

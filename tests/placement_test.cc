@@ -1,0 +1,339 @@
+// Tests for checkpoint placement (Algorithm 1) and recovery-probability
+// analysis (Theorem 1, Corollary 1). The property tests cross-check the
+// paper's closed forms against exhaustive enumeration of failure sets.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/placement/placement.h"
+#include "src/placement/probability.h"
+
+namespace gemini {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Structural tests
+// ---------------------------------------------------------------------------
+
+TEST(PlacementTest, GroupPlacementPartitionsMachines) {
+  const auto plan = BuildGroupPlacement(8, 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->groups.size(), 4u);
+  for (const auto& group : plan->groups) {
+    EXPECT_EQ(group.size(), 2u);
+  }
+  // Machine 0 and 1 hold each other.
+  EXPECT_EQ(plan->replica_sets[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->replica_sets[1], (std::vector<int>{1, 0}));
+}
+
+TEST(PlacementTest, GroupPlacementRequiresDivisibility) {
+  EXPECT_FALSE(BuildGroupPlacement(7, 2).ok());
+  EXPECT_TRUE(BuildGroupPlacement(7, 7).ok());
+}
+
+TEST(PlacementTest, RingPlacementWrapsAround) {
+  const auto plan = BuildRingPlacement(4, 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->replica_sets[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->replica_sets[3], (std::vector<int>{3, 0}));
+}
+
+TEST(PlacementTest, MixedEqualsGroupWhenDivisible) {
+  const auto mixed = BuildMixedPlacement(16, 4);
+  const auto group = BuildGroupPlacement(16, 4);
+  ASSERT_TRUE(mixed.ok());
+  ASSERT_TRUE(group.ok());
+  EXPECT_EQ(mixed->replica_sets, group->replica_sets);
+  EXPECT_EQ(mixed->groups, group->groups);
+}
+
+TEST(PlacementTest, MixedWithRemainderBuildsTrailingRing) {
+  // Paper Figure 3c: N=5, m=2 -> one group of two, ring over the last three.
+  const auto plan = BuildMixedPlacement(5, 2);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->groups.size(), 2u);
+  EXPECT_EQ(plan->groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan->groups[1], (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(plan->replica_sets[2], (std::vector<int>{2, 3}));
+  EXPECT_EQ(plan->replica_sets[3], (std::vector<int>{3, 4}));
+  EXPECT_EQ(plan->replica_sets[4], (std::vector<int>{4, 2}));
+}
+
+TEST(PlacementTest, RejectsInvalidArguments) {
+  EXPECT_FALSE(BuildMixedPlacement(0, 1).ok());
+  EXPECT_FALSE(BuildMixedPlacement(4, 0).ok());
+  EXPECT_FALSE(BuildMixedPlacement(4, 5).ok());
+  EXPECT_FALSE(BuildRingPlacement(3, 4).ok());
+}
+
+TEST(PlacementTest, SingleReplicaIsLocalOnly) {
+  const auto plan = BuildMixedPlacement(6, 1);
+  ASSERT_TRUE(plan.ok());
+  for (int machine = 0; machine < 6; ++machine) {
+    EXPECT_EQ(plan->replica_sets[static_cast<size_t>(machine)],
+              std::vector<int>{machine});
+    EXPECT_TRUE(plan->RemoteDestinations(machine).empty());
+  }
+}
+
+TEST(PlacementTest, RemoteDestinationsExcludeSelf) {
+  const auto plan = BuildMixedPlacement(6, 3);
+  ASSERT_TRUE(plan.ok());
+  for (int machine = 0; machine < 6; ++machine) {
+    const auto destinations = plan->RemoteDestinations(machine);
+    EXPECT_EQ(destinations.size(), 2u);
+    for (const int destination : destinations) {
+      EXPECT_NE(destination, machine);
+    }
+  }
+}
+
+TEST(PlacementTest, AliveRemoteHoldersFiltersDead) {
+  const auto plan = BuildGroupPlacement(4, 2);
+  ASSERT_TRUE(plan.ok());
+  std::vector<bool> alive = {true, false, true, true};
+  EXPECT_TRUE(plan->AliveRemoteHolders(0, alive).empty());  // Holder 1 is dead.
+  EXPECT_EQ(plan->AliveRemoteHolders(2, alive), (std::vector<int>{3}));
+}
+
+TEST(PlacementTest, RecoverablePaperExample) {
+  // Paper Section 4: N=4, m=2. Group placement survives {0,2} failing but
+  // not {0,1}; ring placement loses any two consecutive machines.
+  const auto group = BuildGroupPlacement(4, 2);
+  const auto ring = BuildRingPlacement(4, 2);
+  ASSERT_TRUE(group.ok());
+  ASSERT_TRUE(ring.ok());
+  EXPECT_TRUE(group->Recoverable({true, false, true, false}));
+  EXPECT_FALSE(group->Recoverable({true, true, false, false}));
+  EXPECT_FALSE(ring->Recoverable({true, true, false, false}));
+  EXPECT_FALSE(ring->Recoverable({false, true, true, false}));
+  EXPECT_TRUE(ring->Recoverable({true, false, true, false}));
+}
+
+// Structural invariants across a parameter sweep: every machine keeps a
+// local replica, has exactly m holders, and group sections are disjoint.
+class PlacementSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlacementSweepTest, InvariantsHold) {
+  const auto [num_machines, num_replicas] = GetParam();
+  if (num_replicas > num_machines) {
+    GTEST_SKIP();
+  }
+  const auto plan = BuildMixedPlacement(num_machines, num_replicas);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::vector<int> holder_load(static_cast<size_t>(num_machines), 0);
+  for (int machine = 0; machine < num_machines; ++machine) {
+    const auto& holders = plan->replica_sets[static_cast<size_t>(machine)];
+    ASSERT_EQ(static_cast<int>(holders.size()), num_replicas)
+        << "machine " << machine << " has wrong replica count";
+    EXPECT_EQ(holders.front(), machine) << "local replica must come first";
+    std::set<int> unique(holders.begin(), holders.end());
+    EXPECT_EQ(unique.size(), holders.size()) << "duplicate holders";
+    for (const int holder : holders) {
+      ASSERT_GE(holder, 0);
+      ASSERT_LT(holder, num_machines);
+      ++holder_load[static_cast<size_t>(holder)];
+    }
+  }
+  // Theorem 1's communication-balance argument: every machine stores exactly
+  // m checkpoints (its own plus m-1 peers'), so sends and receives balance.
+  for (int machine = 0; machine < num_machines; ++machine) {
+    EXPECT_EQ(holder_load[static_cast<size_t>(machine)], num_replicas)
+        << "machine " << machine << " stores an unbalanced number of replicas";
+  }
+  // No failure set of size < m can ever defeat the plan.
+  if (num_replicas >= 2) {
+    for (int victim = 0; victim < num_machines; ++victim) {
+      std::vector<bool> failed(static_cast<size_t>(num_machines), false);
+      failed[static_cast<size_t>(victim)] = true;
+      EXPECT_TRUE(plan->Recoverable(failed)) << "single failure defeated the plan";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlacementSweepTest,
+    ::testing::Combine(::testing::Values(2, 3, 4, 5, 7, 8, 9, 12, 16, 17, 25, 32, 100),
+                       ::testing::Values(1, 2, 3, 4)));
+
+// ---------------------------------------------------------------------------
+// Probability analysis
+// ---------------------------------------------------------------------------
+
+TEST(ProbabilityTest, BinomialCoefficients) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(4, 2), 6.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(16, 2), 120.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(10, 10), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 7), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(52, 5), 2598960.0);
+}
+
+TEST(ProbabilityTest, ForEachCombinationCountsAndOrders) {
+  std::vector<std::vector<int>> combos;
+  const int64_t count = ForEachCombination(4, 2, [&](const std::vector<int>& combo) {
+    combos.push_back(combo);
+    return true;
+  });
+  EXPECT_EQ(count, 6);
+  EXPECT_EQ(combos.front(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(combos.back(), (std::vector<int>{2, 3}));
+}
+
+TEST(ProbabilityTest, ForEachCombinationEarlyStop) {
+  int visited = 0;
+  const int64_t result = ForEachCombination(5, 2, [&](const std::vector<int>&) {
+    return ++visited < 3;
+  });
+  EXPECT_EQ(result, -1);
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(ProbabilityTest, Corollary1PaperValues) {
+  // Section 7.2: N=16, m=2, k=2 -> 93.3%; k=3 -> 80.0%.
+  EXPECT_NEAR(Corollary1LowerBound(16, 2, 2), 0.9333, 0.0001);
+  EXPECT_NEAR(Corollary1LowerBound(16, 2, 3), 0.8000, 0.0001);
+  // Fewer failures than replicas always recover.
+  EXPECT_DOUBLE_EQ(Corollary1LowerBound(16, 2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(Corollary1LowerBound(16, 4, 3), 1.0);
+}
+
+TEST(ProbabilityTest, Corollary1IncreasesWithClusterSize) {
+  double previous = 0.0;
+  for (const int n : {8, 16, 32, 64, 128}) {
+    const double p = Corollary1LowerBound(n, 2, 2);
+    EXPECT_GT(p, previous);
+    previous = p;
+  }
+  EXPECT_GT(previous, 0.99);  // Large clusters almost always recover.
+}
+
+TEST(ProbabilityTest, ExactMatchesCorollary1ForGroupPlacementSmallK) {
+  // Corollary 1 is exact (not just a bound) when m <= k < 2m.
+  for (const int n : {8, 12, 16}) {
+    const auto plan = BuildGroupPlacement(n, 2);
+    ASSERT_TRUE(plan.ok());
+    for (const int k : {2, 3}) {
+      const auto exact = ExactRecoveryProbability(*plan, k);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_NEAR(*exact, Corollary1LowerBound(n, 2, k), 1e-9)
+          << "N=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(ProbabilityTest, Corollary1IsLowerBoundForLargeK) {
+  // For k >= 2m the closed form over-counts bad sets, so it lower-bounds the
+  // exact probability.
+  const auto plan = BuildGroupPlacement(12, 2);
+  ASSERT_TRUE(plan.ok());
+  for (const int k : {4, 5, 6}) {
+    const auto exact = ExactRecoveryProbability(*plan, k);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_GE(*exact + 1e-9, Corollary1LowerBound(12, 2, k)) << "k=" << k;
+  }
+}
+
+TEST(ProbabilityTest, GroupBeatsRingPaperExample) {
+  // Section 4: with N=4, m=2, k=2, group placement's failure probability is
+  // 50% lower than ring's (2 fatal pairs vs 4 of the 6 possible).
+  const auto group = BuildGroupPlacement(4, 2);
+  const auto ring = BuildRingPlacement(4, 2);
+  const double group_p = *ExactRecoveryProbability(*group, 2);
+  const double ring_p = *ExactRecoveryProbability(*ring, 2);
+  EXPECT_NEAR(group_p, 4.0 / 6.0, 1e-9);
+  EXPECT_NEAR(ring_p, 2.0 / 6.0, 1e-9);
+  EXPECT_NEAR((1.0 - ring_p) / (1.0 - group_p), 2.0, 1e-9);
+}
+
+TEST(ProbabilityTest, RingProbabilityFigure9Gap) {
+  // Figure 9 calls out Ring being 25.0% lower than GEMINI at N=16, m=2,
+  // k=3: that figure comes from the analytic ring estimate (0.6 vs 0.8).
+  const double group_p = Corollary1LowerBound(16, 2, 3);
+  const double ring_p = RingAnalyticLowerBound(16, 2, 3);
+  EXPECT_NEAR(group_p, 0.80, 1e-9);
+  EXPECT_NEAR(ring_p, 0.60, 1e-9);
+  EXPECT_NEAR(1.0 - ring_p / group_p, 0.25, 1e-9);
+  // The analytic estimate is a true lower bound on the exact ring
+  // probability, which in turn stays below the group strategy's.
+  const auto ring = BuildRingPlacement(16, 2);
+  const double ring_exact = *ExactRecoveryProbability(*ring, 3);
+  EXPECT_GE(ring_exact, ring_p - 1e-9);
+  EXPECT_LT(ring_exact, group_p);
+}
+
+// Theorem 1 property sweep: group placement is optimal (meets the upper
+// bound), ring never beats group, and the mixed strategy is within the
+// (2m-3)/C(N,m) gap of the bound.
+class TheoremSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TheoremSweepTest, GroupOptimalAndMixedNearOptimal) {
+  const auto [num_machines, num_replicas] = GetParam();
+  if (num_replicas > num_machines) {
+    GTEST_SKIP();
+  }
+  const int k = num_replicas;  // The k = m case Theorem 1 analyzes.
+  const auto mixed = BuildMixedPlacement(num_machines, num_replicas);
+  ASSERT_TRUE(mixed.ok());
+  const auto mixed_p = ExactRecoveryProbability(*mixed, k);
+  ASSERT_TRUE(mixed_p.ok());
+
+  const auto ring = BuildRingPlacement(num_machines, num_replicas);
+  ASSERT_TRUE(ring.ok());
+  const auto ring_p = ExactRecoveryProbability(*ring, k);
+  ASSERT_TRUE(ring_p.ok());
+
+  // The proof's upper bound: at most 1 - ceil(N/m)/C(N,m) of failure sets
+  // can be fatal... phrased as probability: P <= 1 - ceil(N/m)/C(N,m).
+  const double upper_bound =
+      1.0 - std::ceil(static_cast<double>(num_machines) / num_replicas) /
+                BinomialCoefficient(num_machines, num_replicas);
+  EXPECT_LE(*mixed_p, upper_bound + 1e-9);
+  EXPECT_LE(*ring_p, *mixed_p + 1e-9) << "ring beat mixed";
+
+  if (num_machines % num_replicas == 0) {
+    // Optimality: group placement achieves the bound exactly.
+    EXPECT_NEAR(*mixed_p, upper_bound, 1e-9);
+  } else if (num_replicas >= 2) {
+    // Near-optimality: within the Theorem 1 gap.
+    const double gap = MixedStrategyGapBound(num_machines, num_replicas);
+    EXPECT_GE(*mixed_p + gap + 1e-9, upper_bound)
+        << "mixed strategy fell outside the Theorem 1 gap";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TheoremSweepTest,
+    ::testing::Combine(::testing::Values(4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(ProbabilityTest, ExactRefusesHugeEnumerations) {
+  const auto plan = BuildGroupPlacement(100, 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(ExactRecoveryProbability(*plan, 50, /*max_combinations=*/1000).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ProbabilityTest, MonteCarloAgreesWithExact) {
+  const auto plan = BuildGroupPlacement(16, 2);
+  ASSERT_TRUE(plan.ok());
+  Rng rng(99);
+  const double exact = *ExactRecoveryProbability(*plan, 3);
+  const double sampled = MonteCarloRecoveryProbability(*plan, 3, 20000, rng);
+  EXPECT_NEAR(sampled, exact, 0.01);
+}
+
+TEST(ProbabilityTest, EdgeCases) {
+  const auto plan = BuildGroupPlacement(4, 2);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(*ExactRecoveryProbability(*plan, 0), 1.0);  // Nothing failed.
+  EXPECT_DOUBLE_EQ(*ExactRecoveryProbability(*plan, 4), 0.0);  // Everything failed.
+  EXPECT_DOUBLE_EQ(Corollary1LowerBound(4, 2, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,271 @@
+// Tests for the discrete-event simulation engine and timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace gemini {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Seconds(3), [&] { order.push_back(3); });
+  sim.ScheduleAt(Seconds(1), [&] { order.push_back(1); });
+  sim.ScheduleAt(Seconds(2), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Seconds(3));
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimeNs fired_at = -1;
+  sim.ScheduleAt(Seconds(5), [&] {
+    sim.ScheduleAfter(Seconds(2), [&] { fired_at = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Seconds(7));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.ScheduleAt(Seconds(1), [&] { ran = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulatorTest, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(Seconds(1), [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelAfterRunReturnsFalse) {
+  Simulator sim;
+  const EventId id = sim.ScheduleAt(Seconds(1), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(SimulatorTest, CancelInvalidIdReturnsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId{}));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(Seconds(1), [&] { ++fired; });
+  sim.ScheduleAt(Seconds(5), [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(Seconds(3)), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), Seconds(3));
+  // The later event still fires afterwards.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.ScheduleAt(Seconds(3), [&] { ran = true; });
+  sim.RunUntil(Seconds(3));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(sim.now(), Seconds(10));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(Seconds(1), recurse);
+    }
+  };
+  sim.ScheduleAfter(Seconds(1), recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), Seconds(5));
+}
+
+TEST(SimulatorTest, StepRunsExactlyOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.ScheduleAt(1, [&] { ++fired; });
+  sim.ScheduleAt(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, EventCancellingLaterEvent) {
+  Simulator sim;
+  bool second_ran = false;
+  const EventId second = sim.ScheduleAt(Seconds(2), [&] { second_ran = true; });
+  sim.ScheduleAt(Seconds(1), [&] { sim.Cancel(second); });
+  sim.Run();
+  EXPECT_FALSE(second_ran);
+}
+
+TEST(RepeatingTimerTest, TicksAtPeriod) {
+  Simulator sim;
+  std::vector<TimeNs> ticks;
+  RepeatingTimer timer(sim, Seconds(2), [&] { ticks.push_back(sim.now()); });
+  timer.Start();
+  sim.RunUntil(Seconds(7));
+  EXPECT_EQ(ticks, (std::vector<TimeNs>{Seconds(2), Seconds(4), Seconds(6)}));
+}
+
+TEST(RepeatingTimerTest, FireNowTicksImmediately) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer timer(sim, Seconds(5), [&] { ++ticks; });
+  timer.Start(/*fire_now=*/true);
+  sim.RunUntil(Seconds(1));
+  EXPECT_EQ(ticks, 1);
+}
+
+TEST(RepeatingTimerTest, StopHaltsTicks) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer timer(sim, Seconds(1), [&] { ++ticks; });
+  timer.Start();
+  sim.RunUntil(Seconds(3));
+  timer.Stop();
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_FALSE(timer.running());
+}
+
+TEST(RepeatingTimerTest, CallbackMayStopTimer) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer timer(sim, Seconds(1), [&] {
+    if (++ticks == 2) {
+      timer.Stop();
+    }
+  });
+  timer.Start();
+  sim.RunUntil(Seconds(10));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(RepeatingTimerTest, DestructionCancelsPendingTick) {
+  Simulator sim;
+  int ticks = 0;
+  {
+    RepeatingTimer timer(sim, Seconds(1), [&] { ++ticks; });
+    timer.Start();
+  }
+  sim.RunUntil(Seconds(5));
+  EXPECT_EQ(ticks, 0);
+}
+
+TEST(RepeatingTimerTest, RestartAfterStop) {
+  Simulator sim;
+  int ticks = 0;
+  RepeatingTimer timer(sim, Seconds(1), [&] { ++ticks; });
+  timer.Start();
+  sim.RunUntil(Seconds(2));
+  timer.Stop();
+  timer.Start();
+  sim.RunUntil(Seconds(4));
+  EXPECT_EQ(ticks, 4);
+}
+
+}  // namespace
+}  // namespace gemini
+
+namespace gemini {
+namespace {
+
+// Randomized model check: the simulator must agree with a simple reference
+// (sorted stable list with tombstones) on execution order under arbitrary
+// schedule/cancel interleavings.
+class SimulatorFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorFuzzTest, MatchesReferenceModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31337 + 1);
+  Simulator sim;
+  struct Ref {
+    TimeNs when;
+    int tag;
+    bool cancelled = false;
+  };
+  std::vector<Ref> reference;
+  std::vector<EventId> ids;
+  std::vector<int> executed;
+
+  const int ops = 300;
+  for (int i = 0; i < ops; ++i) {
+    if (!ids.empty() && rng.Bernoulli(0.2)) {
+      // Cancel a random event (possibly already cancelled).
+      const size_t victim = static_cast<size_t>(rng.NextU64Below(ids.size()));
+      const bool cancelled = sim.Cancel(ids[victim]);
+      if (cancelled) {
+        reference[victim].cancelled = true;
+      }
+    } else {
+      const TimeNs when = rng.UniformInt(0, Seconds(100));
+      const int tag = i;
+      ids.push_back(sim.ScheduleAt(when, [&executed, tag] { executed.push_back(tag); }));
+      reference.push_back(Ref{when, tag});
+    }
+  }
+  sim.Run();
+
+  // Reference order: by (when, insertion order), skipping cancelled.
+  std::vector<int> expected;
+  std::vector<size_t> order(reference.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return reference[a].when < reference[b].when;
+  });
+  for (const size_t i : order) {
+    if (!reference[i].cancelled) {
+      expected.push_back(reference[i].tag);
+    }
+  }
+  EXPECT_EQ(executed, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzzTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace gemini

@@ -1,0 +1,178 @@
+// Tests for named-tensor state dictionaries and the transformer model-state
+// inventory (the 12 bytes/parameter cross-check).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/storage/state_dict.h"
+#include "src/training/model_state.h"
+
+namespace gemini {
+namespace {
+
+TensorSpec Spec(const std::string& name, std::vector<int64_t> shape,
+                DType dtype = DType::kFloat32) {
+  return TensorSpec{name, std::move(shape), dtype};
+}
+
+// ---------------------------------------------------------------------------
+// TensorSpec
+// ---------------------------------------------------------------------------
+
+TEST(TensorSpecTest, ElementAndByteCounts) {
+  EXPECT_EQ(Spec("a", {3, 4}).NumElements(), 12);
+  EXPECT_EQ(Spec("a", {3, 4}).ByteSize(), 48);
+  EXPECT_EQ(Spec("h", {8}, DType::kFloat16).ByteSize(), 16);
+  EXPECT_EQ(Spec("scalarless", {}).NumElements(), 0);
+}
+
+TEST(TensorSpecTest, DTypeHelpers) {
+  EXPECT_EQ(DTypeSize(DType::kFloat32), 4);
+  EXPECT_EQ(DTypeSize(DType::kFloat16), 2);
+  EXPECT_EQ(DTypeName(DType::kFloat32), "float32");
+}
+
+// ---------------------------------------------------------------------------
+// Model-state inventory
+// ---------------------------------------------------------------------------
+
+TEST(ModelStateTest, TwelveBytesPerFormulaParameter) {
+  // The explicit tensor enumeration must equal 12 bytes per formula
+  // parameter: three fp32 copies of every parameter element.
+  for (const ModelConfig& model : {Gpt2_20B(), Gpt2_100B()}) {
+    const std::vector<TensorSpec> specs = BuildModelStateSpecs(model);
+    const Bytes expected_at_least = model.FormulaParams() * 12;
+    const double ratio = static_cast<double>(TotalBytes(specs)) /
+                         static_cast<double>(expected_at_least);
+    EXPECT_GT(ratio, 0.999) << model.name;
+    EXPECT_LT(ratio, 1.01) << model.name;  // Layer norms add a little.
+  }
+}
+
+TEST(ModelStateTest, ThreeStatesPerParameterTensor) {
+  const std::vector<TensorSpec> specs = BuildModelStateSpecs(Gpt2_10B());
+  // 6 tensors per layer + embedding + final LN, times 3 states.
+  EXPECT_EQ(static_cast<int>(specs.size()), (6 * 46 + 2) * 3);
+  std::set<std::string> names;
+  for (const TensorSpec& spec : specs) {
+    EXPECT_TRUE(names.insert(spec.name).second) << "duplicate " << spec.name;
+    EXPECT_EQ(spec.dtype, DType::kFloat32);
+  }
+  EXPECT_TRUE(names.contains("layers.0.attn.qkv.master"));
+  EXPECT_TRUE(names.contains("layers.45.mlp.down.exp_avg_sq"));
+  EXPECT_TRUE(names.contains("embedding.word.exp_avg"));
+}
+
+TEST(ModelStateTest, ShardsPartitionEveryTensorExactly) {
+  const std::vector<TensorSpec> full = BuildModelStateSpecs(Gpt2_10B());
+  const int shards = 16;
+  Bytes sharded_total = 0;
+  for (int rank = 0; rank < shards; ++rank) {
+    sharded_total += TotalBytes(ShardSpecs(full, rank, shards));
+  }
+  EXPECT_EQ(sharded_total, TotalBytes(full));
+}
+
+TEST(ModelStateTest, ShardsAreBalanced) {
+  const std::vector<TensorSpec> full = BuildModelStateSpecs(Gpt2_40B());
+  const int shards = 16;
+  Bytes smallest = TotalBytes(ShardSpecs(full, 0, shards));
+  Bytes largest = smallest;
+  for (int rank = 1; rank < shards; ++rank) {
+    const Bytes bytes = TotalBytes(ShardSpecs(full, rank, shards));
+    smallest = std::min(smallest, bytes);
+    largest = std::max(largest, bytes);
+  }
+  EXPECT_LT(static_cast<double>(largest - smallest) / static_cast<double>(largest), 1e-3);
+}
+
+TEST(ModelStateTest, ShardNamesEncodeRank) {
+  const std::vector<TensorSpec> shard = ShardSpecs(BuildModelStateSpecs(Gpt2_10B()), 3, 8);
+  for (const TensorSpec& spec : shard) {
+    EXPECT_NE(spec.name.find("/shard3-of-8"), std::string::npos) << spec.name;
+    EXPECT_EQ(spec.shape.size(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// StateDict
+// ---------------------------------------------------------------------------
+
+StateDict SmallDict() {
+  StateDict dict;
+  EXPECT_TRUE(dict.AddTensor(Spec("w", {2, 3}), {1, 2, 3, 4, 5, 6}).ok());
+  EXPECT_TRUE(dict.AddTensor(Spec("b", {3}), {0.5f, -0.5f, 0.25f}).ok());
+  return dict;
+}
+
+TEST(StateDictTest, AddAndLookup) {
+  const StateDict dict = SmallDict();
+  EXPECT_EQ(dict.num_tensors(), 2);
+  EXPECT_TRUE(dict.Contains("w"));
+  ASSERT_NE(dict.FindSpec("w"), nullptr);
+  EXPECT_EQ(dict.FindSpec("w")->shape, (std::vector<int64_t>{2, 3}));
+  ASSERT_NE(dict.FindData("b"), nullptr);
+  EXPECT_EQ(dict.FindData("b")->size(), 3u);
+  EXPECT_EQ(dict.FindSpec("missing"), nullptr);
+  EXPECT_EQ(dict.TotalLogicalBytes(), 9 * 4);
+}
+
+TEST(StateDictTest, RejectsDuplicatesAndSizeMismatch) {
+  StateDict dict = SmallDict();
+  EXPECT_EQ(dict.AddTensor(Spec("w", {1}), {1.0f}).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(dict.AddTensor(Spec("x", {4}), {1.0f}).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StateDictTest, SerializationRoundTrips) {
+  const StateDict dict = SmallDict();
+  const StatusOr<StateDict> restored = DeserializeStateDict(SerializeStateDict(dict));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, dict);
+  EXPECT_EQ(restored->names(), dict.names());  // Order preserved.
+}
+
+TEST(StateDictTest, EmptyDictRoundTrips) {
+  const StateDict dict;
+  const StatusOr<StateDict> restored = DeserializeStateDict(SerializeStateDict(dict));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_tensors(), 0);
+}
+
+TEST(StateDictTest, CorruptionIsDetected) {
+  std::vector<uint8_t> blob = SerializeStateDict(SmallDict());
+  blob[blob.size() / 2] ^= 0x42;
+  EXPECT_EQ(DeserializeStateDict(blob).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(StateDictTest, TruncationIsDetected) {
+  std::vector<uint8_t> blob = SerializeStateDict(SmallDict());
+  blob.resize(blob.size() - 5);
+  EXPECT_FALSE(DeserializeStateDict(blob).ok());
+}
+
+TEST(StateDictTest, RealisticShardRoundTrip) {
+  // Build a populated ZeRO-3 shard with small synthetic tensors, serialize,
+  // restore, compare bit-exactly.
+  Rng rng(17);
+  StateDict dict;
+  ModelConfig tiny = Gpt2_10B();
+  tiny.num_layers = 2;
+  tiny.hidden_size = 8;
+  tiny.intermediate_size = 32;
+  tiny.vocab_size = 64;
+  for (TensorSpec spec : ShardSpecs(BuildModelStateSpecs(tiny), 1, 4)) {
+    std::vector<float> data(static_cast<size_t>(spec.NumElements()));
+    for (float& value : data) {
+      value = static_cast<float>(rng.NextDouble());
+    }
+    ASSERT_TRUE(dict.AddTensor(std::move(spec), std::move(data)).ok());
+  }
+  EXPECT_GT(dict.num_tensors(), 10);
+  const StatusOr<StateDict> restored = DeserializeStateDict(SerializeStateDict(dict));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, dict);
+}
+
+}  // namespace
+}  // namespace gemini

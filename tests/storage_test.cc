@@ -1,0 +1,381 @@
+// Tests for checkpoint serialization, the CPU-memory checkpoint store
+// (double buffering), and the persistent store.
+#include <gtest/gtest.h>
+
+#include "src/cluster/instance_spec.h"
+#include "src/cluster/machine.h"
+#include "src/common/rng.h"
+#include "src/storage/cpu_store.h"
+#include "src/storage/persistent_store.h"
+#include "src/storage/serializer.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace gemini {
+namespace {
+
+Checkpoint MakeCheckpoint(int owner, int64_t iteration, Bytes logical, size_t payload = 16) {
+  Checkpoint checkpoint;
+  checkpoint.owner_rank = owner;
+  checkpoint.iteration = iteration;
+  checkpoint.logical_bytes = logical;
+  checkpoint.payload.resize(payload);
+  for (size_t i = 0; i < payload; ++i) {
+    checkpoint.payload[i] = static_cast<float>(owner) + static_cast<float>(i) * 0.5f +
+                            static_cast<float>(iteration) * 0.01f;
+  }
+  return checkpoint;
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+TEST(SerializerTest, RoundTripsAllFields) {
+  const Checkpoint original = MakeCheckpoint(7, 42, GiB(75), 128);
+  const std::vector<uint8_t> blob = SerializeCheckpoint(original);
+  const StatusOr<Checkpoint> restored = DeserializeCheckpoint(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(SerializerTest, RoundTripsEmptyPayload) {
+  Checkpoint original = MakeCheckpoint(0, 0, 0, 0);
+  const StatusOr<Checkpoint> restored = DeserializeCheckpoint(SerializeCheckpoint(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, original);
+}
+
+TEST(SerializerTest, RejectsBadMagic) {
+  std::vector<uint8_t> blob = SerializeCheckpoint(MakeCheckpoint(1, 1, 100));
+  blob[0] = 'X';
+  EXPECT_EQ(DeserializeCheckpoint(blob).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializerTest, RejectsTruncatedBlob) {
+  std::vector<uint8_t> blob = SerializeCheckpoint(MakeCheckpoint(1, 1, 100));
+  blob.resize(blob.size() / 2);
+  EXPECT_EQ(DeserializeCheckpoint(blob).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(SerializerTest, RejectsEmptyBlob) {
+  EXPECT_EQ(DeserializeCheckpoint({}).status().code(), StatusCode::kDataLoss);
+}
+
+// Property: any single corrupted byte must be detected by the CRC. (A
+// recovery path silently loading corrupt state would be a correctness
+// disaster, so this sweeps byte positions across the blob.)
+class SerializerCorruptionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerializerCorruptionTest, DetectsByteCorruption) {
+  std::vector<uint8_t> blob = SerializeCheckpoint(MakeCheckpoint(3, 9, GiB(1), 64));
+  const size_t position = static_cast<size_t>(GetParam()) * (blob.size() - 1) / 16;
+  blob[position] ^= 0xA5;
+  EXPECT_FALSE(DeserializeCheckpoint(blob).ok())
+      << "corruption at byte " << position << " of " << blob.size() << " went undetected";
+}
+
+INSTANTIATE_TEST_SUITE_P(BytePositions, SerializerCorruptionTest, ::testing::Range(0, 17));
+
+TEST(SerializationModelTest, MatchesPaperMeasurements) {
+  // 75 GiB replica at ~1 GB/s is ~81 s (HighFreq's per-checkpoint
+  // serialization); two replicas at recovery are ~162 s (Figure 14).
+  SerializationModel model;
+  const Bytes replica = 75'000'000'000;  // GPT-2 100B / 16 machines.
+  EXPECT_NEAR(ToSeconds(model.SerializeTime(replica)), 81.0, 1.0);
+  EXPECT_NEAR(ToSeconds(2 * model.SerializeTime(replica)), 162.0, 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// CpuCheckpointStore
+// ---------------------------------------------------------------------------
+
+class CpuStoreTest : public ::testing::Test {
+ protected:
+  CpuStoreTest() : machine_(0, 0, P4d24xlarge()), store_(machine_) {}
+
+  Machine machine_;
+  CpuCheckpointStore store_;
+};
+
+TEST_F(CpuStoreTest, HostOwnerReservesDoubleBuffer) {
+  ASSERT_TRUE(store_.HostOwner(0, GiB(75)).ok());
+  EXPECT_EQ(store_.reserved_bytes(), GiB(150));
+  EXPECT_EQ(machine_.cpu_memory_used(), GiB(150));
+  EXPECT_TRUE(store_.Hosts(0));
+  EXPECT_FALSE(store_.Hosts(1));
+}
+
+TEST_F(CpuStoreTest, HostOwnerIdempotentForSameSize) {
+  ASSERT_TRUE(store_.HostOwner(0, GiB(10)).ok());
+  ASSERT_TRUE(store_.HostOwner(0, GiB(10)).ok());
+  EXPECT_EQ(store_.reserved_bytes(), GiB(20));
+  EXPECT_EQ(store_.HostOwner(0, GiB(20)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CpuStoreTest, HostOwnerFailsWhenCpuMemoryExhausted) {
+  // p4d has 1152 GiB; two 300 GiB owners (600 GiB each double-buffered)
+  // exceed it.
+  ASSERT_TRUE(store_.HostOwner(0, GiB(300)).ok());
+  EXPECT_EQ(store_.HostOwner(1, GiB(300)).code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(CpuStoreTest, DropOwnerFreesMemory) {
+  ASSERT_TRUE(store_.HostOwner(0, GiB(75)).ok());
+  store_.DropOwner(0);
+  EXPECT_EQ(machine_.cpu_memory_used(), 0);
+  EXPECT_FALSE(store_.Hosts(0));
+}
+
+TEST_F(CpuStoreTest, ChunkedWriteCommitsWhenComplete) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.BeginWrite(2, 5).ok());
+  ASSERT_TRUE(store_.AppendChunk(2, 400).ok());
+  ASSERT_TRUE(store_.AppendChunk(2, 600).ok());
+  ASSERT_TRUE(store_.CommitWrite(MakeCheckpoint(2, 5, 1000)).ok());
+  EXPECT_EQ(store_.LatestIteration(2), 5);
+}
+
+TEST_F(CpuStoreTest, CommitWithMissingBytesFails) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.BeginWrite(2, 5).ok());
+  ASSERT_TRUE(store_.AppendChunk(2, 400).ok());
+  EXPECT_EQ(store_.CommitWrite(MakeCheckpoint(2, 5, 1000)).code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CpuStoreTest, ChunkOverflowFails) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.BeginWrite(2, 5).ok());
+  EXPECT_EQ(store_.AppendChunk(2, 1500).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CpuStoreTest, DoubleBufferKeepsCompletedWhileWriting) {
+  // The core crash-consistency property: an in-progress checkpoint never
+  // clobbers the completed one.
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(2, 5, 1000)).ok());
+  ASSERT_TRUE(store_.BeginWrite(2, 6).ok());
+  ASSERT_TRUE(store_.AppendChunk(2, 500).ok());
+  // Failure strikes mid-write: the previous checkpoint must still be there.
+  const std::optional<Checkpoint> latest = store_.Latest(2);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iteration, 5);
+  store_.AbortWrite(2);
+  EXPECT_EQ(store_.LatestIteration(2), 5);
+}
+
+TEST_F(CpuStoreTest, CommitSwapsBuffers) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(2, 5, 1000)).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(2, 6, 1000)).ok());
+  EXPECT_EQ(store_.LatestIteration(2), 6);
+}
+
+TEST_F(CpuStoreTest, WriteToUnhostedOwnerFails) {
+  EXPECT_EQ(store_.BeginWrite(9, 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(store_.AppendChunk(9, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CpuStoreTest, CommitIterationMismatchFails) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.BeginWrite(2, 5).ok());
+  ASSERT_TRUE(store_.AppendChunk(2, 1000).ok());
+  EXPECT_EQ(store_.CommitWrite(MakeCheckpoint(2, 7, 1000)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CpuStoreTest, ResetForMachineDropsEverything) {
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(2, 5, 1000)).ok());
+  Machine replacement(0, 1, P4d24xlarge());
+  store_.ResetForMachine(replacement);
+  EXPECT_FALSE(store_.Hosts(2));
+  EXPECT_EQ(store_.Latest(2), std::nullopt);
+  EXPECT_EQ(replacement.cpu_memory_used(), 0);
+}
+
+TEST_F(CpuStoreTest, LatestIterationForUnknownOwnerIsMinusOne) {
+  EXPECT_EQ(store_.LatestIteration(4), -1);
+}
+
+TEST_F(CpuStoreTest, MultipleOwnersAreIndependent) {
+  ASSERT_TRUE(store_.HostOwner(0, 1000).ok());
+  ASSERT_TRUE(store_.HostOwner(1, 1000).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(0, 3, 1000)).ok());
+  ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(1, 4, 1000)).ok());
+  EXPECT_EQ(store_.Latest(0)->iteration, 3);
+  EXPECT_EQ(store_.Latest(1)->iteration, 4);
+}
+
+// ---------------------------------------------------------------------------
+// PersistentStore
+// ---------------------------------------------------------------------------
+
+class PersistentStoreTest : public ::testing::Test {
+ protected:
+  PersistentStoreTest() {
+    PersistentStoreConfig config;
+    config.aggregate_bandwidth = 1e9;  // 1 GB/s.
+    config.request_latency = Millis(1);
+    store_ = std::make_unique<PersistentStore>(sim_, config);
+  }
+
+  Simulator sim_;
+  std::unique_ptr<PersistentStore> store_;
+};
+
+TEST_F(PersistentStoreTest, SaveTakesBandwidthLimitedTime) {
+  TimeNs done_at = -1;
+  store_->Save(MakeCheckpoint(0, 1, 2'000'000'000), 1, [&](Status status) {
+    EXPECT_TRUE(status.ok());
+    done_at = sim_.now();
+  });
+  sim_.Run();
+  EXPECT_EQ(done_at, Seconds(2) + Millis(1));
+  EXPECT_EQ(store_->bytes_written(), 2'000'000'000);
+}
+
+TEST_F(PersistentStoreTest, ConcurrentSavesShareAggregateBandwidth) {
+  std::vector<TimeNs> completions;
+  for (int rank = 0; rank < 3; ++rank) {
+    store_->Save(MakeCheckpoint(rank, 1, 1'000'000'000), 3,
+                 [&](Status) { completions.push_back(sim_.now()); });
+  }
+  sim_.Run();
+  ASSERT_EQ(completions.size(), 3u);
+  // FIFO through the shared pipe: 1 s apart each (the 20 Gb/s FSx effect).
+  EXPECT_EQ(completions[2], Seconds(3) + Millis(3));
+}
+
+TEST_F(PersistentStoreTest, CompleteIterationRequiresAllShards) {
+  store_->Save(MakeCheckpoint(0, 5, 1000), 2, [](Status) {});
+  sim_.Run();
+  EXPECT_EQ(store_->LatestCompleteIteration(), -1);
+  store_->Save(MakeCheckpoint(1, 5, 1000), 2, [](Status) {});
+  sim_.Run();
+  EXPECT_EQ(store_->LatestCompleteIteration(), 5);
+}
+
+TEST_F(PersistentStoreTest, LatestCompletePrefersNewest) {
+  for (const int64_t iteration : {5, 10}) {
+    for (int rank = 0; rank < 2; ++rank) {
+      store_->SeedImmediate(MakeCheckpoint(rank, iteration, 1000), 2);
+    }
+  }
+  // Iteration 12 is incomplete.
+  store_->SeedImmediate(MakeCheckpoint(0, 12, 1000), 2);
+  EXPECT_EQ(store_->LatestCompleteIteration(), 10);
+}
+
+TEST_F(PersistentStoreTest, RetrieveReturnsStoredShard) {
+  const Checkpoint original = MakeCheckpoint(1, 7, 1'000'000'000);
+  store_->SeedImmediate(original, 2);
+  std::optional<Checkpoint> fetched;
+  TimeNs done_at = -1;
+  store_->Retrieve(1, 7, [&](StatusOr<Checkpoint> result) {
+    ASSERT_TRUE(result.ok()) << result.status();
+    fetched = std::move(result).value();
+    done_at = sim_.now();
+  });
+  sim_.Run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, original);
+  EXPECT_EQ(done_at, Seconds(1) + Millis(1));  // Bandwidth-limited read.
+}
+
+TEST_F(PersistentStoreTest, RetrieveMissingShardIsNotFound) {
+  Status result = Status::Ok();
+  store_->Retrieve(0, 99, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+}
+
+class DiskBackedPersistentStoreTest : public ::testing::Test {
+ protected:
+  DiskBackedPersistentStoreTest() {
+    dir_ = ::testing::TempDir() + "/gemini_fsx_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    PersistentStoreConfig config;
+    config.aggregate_bandwidth = 1e9;
+    config.request_latency = Millis(1);
+    config.disk_dir = dir_;
+    store_ = std::make_unique<PersistentStore>(sim_, config);
+  }
+  ~DiskBackedPersistentStoreTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  Simulator sim_;
+  std::string dir_;
+  std::unique_ptr<PersistentStore> store_;
+};
+
+TEST_F(DiskBackedPersistentStoreTest, SaveWritesSerializedFile) {
+  const Checkpoint original = MakeCheckpoint(2, 9, 1'000'000, 64);
+  Status saved = InternalError("pending");
+  store_->Save(original, 1, [&](Status status) { saved = status; });
+  sim_.Run();
+  ASSERT_TRUE(saved.ok()) << saved;
+  const std::string path = store_->ShardPath(2, 9);
+  ASSERT_TRUE(std::filesystem::exists(path)) << path;
+  EXPECT_GT(std::filesystem::file_size(path), original.payload.size() * sizeof(float));
+}
+
+TEST_F(DiskBackedPersistentStoreTest, RetrieveRoundTripsThroughDisk) {
+  const Checkpoint original = MakeCheckpoint(3, 12, 2'000'000, 128);
+  store_->Save(original, 1, [](Status) {});
+  sim_.Run();
+  std::optional<Checkpoint> fetched;
+  store_->Retrieve(3, 12, [&](StatusOr<Checkpoint> result) {
+    ASSERT_TRUE(result.ok()) << result.status();
+    fetched = std::move(result).value();
+  });
+  sim_.Run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, original);
+}
+
+TEST_F(DiskBackedPersistentStoreTest, CorruptedFileIsDetectedOnRetrieve) {
+  store_->Save(MakeCheckpoint(0, 5, 1'000'000, 64), 1, [](Status) {});
+  sim_.Run();
+  // Flip a byte in the middle of the on-disk blob.
+  const std::string path = store_->ShardPath(0, 5);
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(40);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5A);
+    file.seekp(40);
+    file.write(&byte, 1);
+  }
+  Status result = Status::Ok();
+  store_->Retrieve(0, 5, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kDataLoss);
+}
+
+TEST_F(DiskBackedPersistentStoreTest, DeletedFileSurfacesAsNotFound) {
+  store_->Save(MakeCheckpoint(1, 7, 1'000'000, 32), 1, [](Status) {});
+  sim_.Run();
+  std::filesystem::remove(store_->ShardPath(1, 7));
+  Status result = Status::Ok();
+  store_->Retrieve(1, 7, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+}
+
+TEST_F(PersistentStoreTest, TransferCostMatchesMtNlgSanityCheck) {
+  // Paper Section 2.2: MT-NLG's 530B-parameter model states over a 20 Gb/s
+  // store take ~42 minutes.
+  PersistentStoreConfig config;  // Default 20 Gb/s.
+  PersistentStore fsx(sim_, config);
+  const Bytes mt_nlg = 530'000'000'000LL * 12;
+  EXPECT_NEAR(ToSeconds(fsx.TransferCost(mt_nlg)) / 60.0, 42.4, 0.5);
+}
+
+}  // namespace
+}  // namespace gemini
