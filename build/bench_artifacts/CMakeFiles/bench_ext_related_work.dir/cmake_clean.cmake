@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_related_work"
+  "../bench/bench_ext_related_work.pdb"
+  "CMakeFiles/bench_ext_related_work.dir/bench_ext_related_work.cc.o"
+  "CMakeFiles/bench_ext_related_work.dir/bench_ext_related_work.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

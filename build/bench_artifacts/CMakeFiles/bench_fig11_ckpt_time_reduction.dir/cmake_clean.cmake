@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_ckpt_time_reduction"
+  "../bench/bench_fig11_ckpt_time_reduction.pdb"
+  "CMakeFiles/bench_fig11_ckpt_time_reduction.dir/bench_fig11_ckpt_time_reduction.cc.o"
+  "CMakeFiles/bench_fig11_ckpt_time_reduction.dir/bench_fig11_ckpt_time_reduction.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_ckpt_time_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

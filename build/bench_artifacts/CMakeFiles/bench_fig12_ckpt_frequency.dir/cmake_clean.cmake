@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_ckpt_frequency"
+  "../bench/bench_fig12_ckpt_frequency.pdb"
+  "CMakeFiles/bench_fig12_ckpt_frequency.dir/bench_fig12_ckpt_frequency.cc.o"
+  "CMakeFiles/bench_fig12_ckpt_frequency.dir/bench_fig12_ckpt_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_ckpt_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_p3dn"
+  "../bench/bench_fig13_p3dn.pdb"
+  "CMakeFiles/bench_fig13_p3dn.dir/bench_fig13_p3dn.cc.o"
+  "CMakeFiles/bench_fig13_p3dn.dir/bench_fig13_p3dn.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_p3dn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

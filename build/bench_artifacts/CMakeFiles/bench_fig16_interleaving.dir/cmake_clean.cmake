@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_interleaving"
+  "../bench/bench_fig16_interleaving.pdb"
+  "CMakeFiles/bench_fig16_interleaving.dir/bench_fig16_interleaving.cc.o"
+  "CMakeFiles/bench_fig16_interleaving.dir/bench_fig16_interleaving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_interleaving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_instances"
+  "../bench/bench_table1_instances.pdb"
+  "CMakeFiles/bench_table1_instances.dir/bench_table1_instances.cc.o"
+  "CMakeFiles/bench_table1_instances.dir/bench_table1_instances.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_instances.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

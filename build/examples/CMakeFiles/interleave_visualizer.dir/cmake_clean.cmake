@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleave_visualizer.dir/interleave_visualizer.cpp.o"
+  "CMakeFiles/interleave_visualizer.dir/interleave_visualizer.cpp.o.d"
+  "interleave_visualizer"
+  "interleave_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleave_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_model_training.dir/large_model_training.cpp.o"
+  "CMakeFiles/large_model_training.dir/large_model_training.cpp.o.d"
+  "large_model_training"
+  "large_model_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_model_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

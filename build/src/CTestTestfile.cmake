@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("cluster")
+subdirs("collectives")
+subdirs("kvstore")
+subdirs("storage")
+subdirs("placement")
+subdirs("training")
+subdirs("schedule")
+subdirs("agent")
+subdirs("baselines")
+subdirs("gemini")

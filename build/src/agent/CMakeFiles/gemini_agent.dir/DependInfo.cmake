@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/cloud_operator.cc" "src/agent/CMakeFiles/gemini_agent.dir/cloud_operator.cc.o" "gcc" "src/agent/CMakeFiles/gemini_agent.dir/cloud_operator.cc.o.d"
+  "/root/repo/src/agent/failure_injector.cc" "src/agent/CMakeFiles/gemini_agent.dir/failure_injector.cc.o" "gcc" "src/agent/CMakeFiles/gemini_agent.dir/failure_injector.cc.o.d"
+  "/root/repo/src/agent/root_agent.cc" "src/agent/CMakeFiles/gemini_agent.dir/root_agent.cc.o" "gcc" "src/agent/CMakeFiles/gemini_agent.dir/root_agent.cc.o.d"
+  "/root/repo/src/agent/worker_agent.cc" "src/agent/CMakeFiles/gemini_agent.dir/worker_agent.cc.o" "gcc" "src/agent/CMakeFiles/gemini_agent.dir/worker_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/gemini_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

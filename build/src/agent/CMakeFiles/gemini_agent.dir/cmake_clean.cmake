@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_agent.dir/cloud_operator.cc.o"
+  "CMakeFiles/gemini_agent.dir/cloud_operator.cc.o.d"
+  "CMakeFiles/gemini_agent.dir/failure_injector.cc.o"
+  "CMakeFiles/gemini_agent.dir/failure_injector.cc.o.d"
+  "CMakeFiles/gemini_agent.dir/root_agent.cc.o"
+  "CMakeFiles/gemini_agent.dir/root_agent.cc.o.d"
+  "CMakeFiles/gemini_agent.dir/worker_agent.cc.o"
+  "CMakeFiles/gemini_agent.dir/worker_agent.cc.o.d"
+  "libgemini_agent.a"
+  "libgemini_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

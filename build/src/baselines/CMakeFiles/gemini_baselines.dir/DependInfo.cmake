@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/related_work.cc" "src/baselines/CMakeFiles/gemini_baselines.dir/related_work.cc.o" "gcc" "src/baselines/CMakeFiles/gemini_baselines.dir/related_work.cc.o.d"
+  "/root/repo/src/baselines/system_model.cc" "src/baselines/CMakeFiles/gemini_baselines.dir/system_model.cc.o" "gcc" "src/baselines/CMakeFiles/gemini_baselines.dir/system_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_baselines.dir/related_work.cc.o"
+  "CMakeFiles/gemini_baselines.dir/related_work.cc.o.d"
+  "CMakeFiles/gemini_baselines.dir/system_model.cc.o"
+  "CMakeFiles/gemini_baselines.dir/system_model.cc.o.d"
+  "libgemini_baselines.a"
+  "libgemini_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_cluster.dir/cluster.cc.o"
+  "CMakeFiles/gemini_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/gemini_cluster.dir/fabric.cc.o"
+  "CMakeFiles/gemini_cluster.dir/fabric.cc.o.d"
+  "CMakeFiles/gemini_cluster.dir/instance_spec.cc.o"
+  "CMakeFiles/gemini_cluster.dir/instance_spec.cc.o.d"
+  "CMakeFiles/gemini_cluster.dir/machine.cc.o"
+  "CMakeFiles/gemini_cluster.dir/machine.cc.o.d"
+  "libgemini_cluster.a"
+  "libgemini_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

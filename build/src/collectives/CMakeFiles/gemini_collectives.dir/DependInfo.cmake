@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collectives/collectives.cc" "src/collectives/CMakeFiles/gemini_collectives.dir/collectives.cc.o" "gcc" "src/collectives/CMakeFiles/gemini_collectives.dir/collectives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_collectives.dir/collectives.cc.o"
+  "CMakeFiles/gemini_collectives.dir/collectives.cc.o.d"
+  "libgemini_collectives.a"
+  "libgemini_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

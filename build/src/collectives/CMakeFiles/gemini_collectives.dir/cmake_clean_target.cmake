@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgemini_collectives.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_common.dir/crc32.cc.o"
+  "CMakeFiles/gemini_common.dir/crc32.cc.o.d"
+  "CMakeFiles/gemini_common.dir/logging.cc.o"
+  "CMakeFiles/gemini_common.dir/logging.cc.o.d"
+  "CMakeFiles/gemini_common.dir/rng.cc.o"
+  "CMakeFiles/gemini_common.dir/rng.cc.o.d"
+  "CMakeFiles/gemini_common.dir/stats.cc.o"
+  "CMakeFiles/gemini_common.dir/stats.cc.o.d"
+  "CMakeFiles/gemini_common.dir/status.cc.o"
+  "CMakeFiles/gemini_common.dir/status.cc.o.d"
+  "CMakeFiles/gemini_common.dir/table_printer.cc.o"
+  "CMakeFiles/gemini_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/gemini_common.dir/units.cc.o"
+  "CMakeFiles/gemini_common.dir/units.cc.o.d"
+  "libgemini_common.a"
+  "libgemini_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

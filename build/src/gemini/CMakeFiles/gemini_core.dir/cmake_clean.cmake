@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_core.dir/gemini_system.cc.o"
+  "CMakeFiles/gemini_core.dir/gemini_system.cc.o.d"
+  "CMakeFiles/gemini_core.dir/replicator.cc.o"
+  "CMakeFiles/gemini_core.dir/replicator.cc.o.d"
+  "libgemini_core.a"
+  "libgemini_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

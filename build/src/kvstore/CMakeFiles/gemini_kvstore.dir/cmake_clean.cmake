@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_kvstore.dir/kv_store.cc.o"
+  "CMakeFiles/gemini_kvstore.dir/kv_store.cc.o.d"
+  "libgemini_kvstore.a"
+  "libgemini_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_placement.dir/placement.cc.o"
+  "CMakeFiles/gemini_placement.dir/placement.cc.o.d"
+  "CMakeFiles/gemini_placement.dir/probability.cc.o"
+  "CMakeFiles/gemini_placement.dir/probability.cc.o.d"
+  "libgemini_placement.a"
+  "libgemini_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

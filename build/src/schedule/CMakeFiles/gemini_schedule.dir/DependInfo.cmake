@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedule/executor.cc" "src/schedule/CMakeFiles/gemini_schedule.dir/executor.cc.o" "gcc" "src/schedule/CMakeFiles/gemini_schedule.dir/executor.cc.o.d"
+  "/root/repo/src/schedule/generic_executor.cc" "src/schedule/CMakeFiles/gemini_schedule.dir/generic_executor.cc.o" "gcc" "src/schedule/CMakeFiles/gemini_schedule.dir/generic_executor.cc.o.d"
+  "/root/repo/src/schedule/partition.cc" "src/schedule/CMakeFiles/gemini_schedule.dir/partition.cc.o" "gcc" "src/schedule/CMakeFiles/gemini_schedule.dir/partition.cc.o.d"
+  "/root/repo/src/schedule/trace_export.cc" "src/schedule/CMakeFiles/gemini_schedule.dir/trace_export.cc.o" "gcc" "src/schedule/CMakeFiles/gemini_schedule.dir/trace_export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/training/CMakeFiles/gemini_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/gemini_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gemini_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_schedule.dir/executor.cc.o"
+  "CMakeFiles/gemini_schedule.dir/executor.cc.o.d"
+  "CMakeFiles/gemini_schedule.dir/generic_executor.cc.o"
+  "CMakeFiles/gemini_schedule.dir/generic_executor.cc.o.d"
+  "CMakeFiles/gemini_schedule.dir/partition.cc.o"
+  "CMakeFiles/gemini_schedule.dir/partition.cc.o.d"
+  "CMakeFiles/gemini_schedule.dir/trace_export.cc.o"
+  "CMakeFiles/gemini_schedule.dir/trace_export.cc.o.d"
+  "libgemini_schedule.a"
+  "libgemini_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_sim.dir/simulator.cc.o"
+  "CMakeFiles/gemini_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/gemini_sim.dir/timer.cc.o"
+  "CMakeFiles/gemini_sim.dir/timer.cc.o.d"
+  "libgemini_sim.a"
+  "libgemini_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/cpu_store.cc" "src/storage/CMakeFiles/gemini_storage.dir/cpu_store.cc.o" "gcc" "src/storage/CMakeFiles/gemini_storage.dir/cpu_store.cc.o.d"
+  "/root/repo/src/storage/persistent_store.cc" "src/storage/CMakeFiles/gemini_storage.dir/persistent_store.cc.o" "gcc" "src/storage/CMakeFiles/gemini_storage.dir/persistent_store.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/storage/CMakeFiles/gemini_storage.dir/serializer.cc.o" "gcc" "src/storage/CMakeFiles/gemini_storage.dir/serializer.cc.o.d"
+  "/root/repo/src/storage/state_dict.cc" "src/storage/CMakeFiles/gemini_storage.dir/state_dict.cc.o" "gcc" "src/storage/CMakeFiles/gemini_storage.dir/state_dict.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_storage.dir/cpu_store.cc.o"
+  "CMakeFiles/gemini_storage.dir/cpu_store.cc.o.d"
+  "CMakeFiles/gemini_storage.dir/persistent_store.cc.o"
+  "CMakeFiles/gemini_storage.dir/persistent_store.cc.o.d"
+  "CMakeFiles/gemini_storage.dir/serializer.cc.o"
+  "CMakeFiles/gemini_storage.dir/serializer.cc.o.d"
+  "CMakeFiles/gemini_storage.dir/state_dict.cc.o"
+  "CMakeFiles/gemini_storage.dir/state_dict.cc.o.d"
+  "libgemini_storage.a"
+  "libgemini_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

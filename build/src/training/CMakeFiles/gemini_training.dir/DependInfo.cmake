@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/training/model_config.cc" "src/training/CMakeFiles/gemini_training.dir/model_config.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/model_config.cc.o.d"
+  "/root/repo/src/training/model_state.cc" "src/training/CMakeFiles/gemini_training.dir/model_state.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/model_state.cc.o.d"
+  "/root/repo/src/training/parallelism.cc" "src/training/CMakeFiles/gemini_training.dir/parallelism.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/parallelism.cc.o.d"
+  "/root/repo/src/training/profiler.cc" "src/training/CMakeFiles/gemini_training.dir/profiler.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/profiler.cc.o.d"
+  "/root/repo/src/training/timeline.cc" "src/training/CMakeFiles/gemini_training.dir/timeline.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/timeline.cc.o.d"
+  "/root/repo/src/training/trainer.cc" "src/training/CMakeFiles/gemini_training.dir/trainer.cc.o" "gcc" "src/training/CMakeFiles/gemini_training.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/gemini_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gemini_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

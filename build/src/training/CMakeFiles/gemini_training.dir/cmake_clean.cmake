@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_training.dir/model_config.cc.o"
+  "CMakeFiles/gemini_training.dir/model_config.cc.o.d"
+  "CMakeFiles/gemini_training.dir/model_state.cc.o"
+  "CMakeFiles/gemini_training.dir/model_state.cc.o.d"
+  "CMakeFiles/gemini_training.dir/parallelism.cc.o"
+  "CMakeFiles/gemini_training.dir/parallelism.cc.o.d"
+  "CMakeFiles/gemini_training.dir/profiler.cc.o"
+  "CMakeFiles/gemini_training.dir/profiler.cc.o.d"
+  "CMakeFiles/gemini_training.dir/timeline.cc.o"
+  "CMakeFiles/gemini_training.dir/timeline.cc.o.d"
+  "CMakeFiles/gemini_training.dir/trainer.cc.o"
+  "CMakeFiles/gemini_training.dir/trainer.cc.o.d"
+  "libgemini_training.a"
+  "libgemini_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

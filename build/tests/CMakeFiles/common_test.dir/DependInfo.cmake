@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/common_test.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/common_test.dir/common_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gemini/CMakeFiles/gemini_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/gemini_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/gemini_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gemini_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/gemini_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/schedule/CMakeFiles/gemini_schedule.dir/DependInfo.cmake"
+  "/root/repo/build/src/training/CMakeFiles/gemini_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/gemini_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/collectives/CMakeFiles/gemini_collectives.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/gemini_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gemini_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gemini_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

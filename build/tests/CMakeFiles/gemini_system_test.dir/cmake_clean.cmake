@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gemini_system_test.dir/gemini_system_test.cc.o"
+  "CMakeFiles/gemini_system_test.dir/gemini_system_test.cc.o.d"
+  "gemini_system_test"
+  "gemini_system_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gemini_system_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

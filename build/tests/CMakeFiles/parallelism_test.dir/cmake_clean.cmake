@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallelism_test.dir/parallelism_test.cc.o"
+  "CMakeFiles/parallelism_test.dir/parallelism_test.cc.o.d"
+  "parallelism_test"
+  "parallelism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallelism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
