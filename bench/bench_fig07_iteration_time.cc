@@ -8,8 +8,10 @@
 using namespace gemini;
 
 int main() {
-  bench::PrintHeader("Figure 7: iteration time, no-checkpoint vs GEMINI (16x p4d.24xlarge)",
-                     "paper Figure 7");
+  bench::BenchReporter reporter(
+      "fig07_iteration_time",
+      "Figure 7: iteration time, no-checkpoint vs GEMINI (16x p4d.24xlarge)",
+      "paper Figure 7");
 
   TablePrinter table({"Model", "No checkpoint (s)", "GEMINI (s)", "Overhead"});
   bool all_zero_overhead = true;
@@ -24,12 +26,17 @@ int main() {
     table.AddRow({model.name, TablePrinter::Fmt(ToSeconds(result.baseline_iteration_time)),
                   TablePrinter::Fmt(ToSeconds(result.iteration_time)),
                   TablePrinter::Fmt(result.overhead_fraction * 100.0) + " %"});
+    const std::string key = bench::BenchReporter::MetricKey(model.name);
+    reporter.Metric(key + ".baseline_iteration_seconds",
+                    ToSeconds(result.baseline_iteration_time));
+    reporter.Metric(key + ".gemini_iteration_seconds", ToSeconds(result.iteration_time));
+    reporter.Metric(key + ".overhead_fraction", result.overhead_fraction);
     all_zero_overhead &= result.overhead_fraction < 0.005;
   }
-  table.Print(std::cout);
-  std::cout << "\nShape check: " << (all_zero_overhead ? "PASS" : "FAIL")
-            << " — GEMINI checkpoints every iteration with no measurable impact on\n"
-               "iteration time (paper: 'GEMINI does not affect the training iteration\n"
-               "times'; measured 62 s for GPT-2 100B).\n";
-  return all_zero_overhead ? 0 : 1;
+  reporter.Table(table);
+  reporter.ShapeCheck(all_zero_overhead,
+                      "GEMINI checkpoints every iteration with no measurable impact on\n"
+                      "iteration time (paper: 'GEMINI does not affect the training iteration\n"
+                      "times'; measured 62 s for GPT-2 100B).");
+  return reporter.Finish();
 }

@@ -12,8 +12,9 @@
 using namespace gemini;
 
 int main() {
-  bench::PrintHeader("Figure 9: P(recover from CPU memory) vs number of instances",
-                     "paper Figure 9 and Corollary 1");
+  bench::BenchReporter reporter("fig09_recovery_probability",
+                                "Figure 9: P(recover from CPU memory) vs number of instances",
+                                "paper Figure 9 and Corollary 1");
 
   TablePrinter table({"N", "GEMINI m=2,k=2", "GEMINI m=2,k=3", "Ring m=2,k=2", "Ring m=2,k=3",
                       "exact GEMINI k=2", "exact Ring k=2"});
@@ -28,8 +29,13 @@ int main() {
                   TablePrinter::Fmt(RingAnalyticLowerBound(n, 2, 2), 4),
                   TablePrinter::Fmt(RingAnalyticLowerBound(n, 2, 3), 4),
                   TablePrinter::Fmt(exact_group, 4), TablePrinter::Fmt(exact_ring, 4)});
+    const std::string key = "n" + std::to_string(n);
+    reporter.Metric(key + ".gemini_m2_k2", Corollary1LowerBound(n, 2, 2));
+    reporter.Metric(key + ".gemini_m2_k3", Corollary1LowerBound(n, 2, 3));
+    reporter.Metric(key + ".ring_m2_k2", RingAnalyticLowerBound(n, 2, 2));
+    reporter.Metric(key + ".ring_m2_k3", RingAnalyticLowerBound(n, 2, 3));
   }
-  table.Print(std::cout);
+  reporter.Table(table);
 
   std::cout << "\nReplica-count ablation (N = 16, exact enumeration):\n";
   TablePrinter ablation({"m", "k=1", "k=2", "k=3", "k=4", "ckpt traffic (x C)"});
@@ -42,15 +48,18 @@ int main() {
     row.push_back(TablePrinter::Fmt(static_cast<int64_t>(m - 1)));
     ablation.AddRow(row);
   }
-  ablation.Print(std::cout);
+  reporter.Table(ablation);
 
   const double p16k2 = Corollary1LowerBound(16, 2, 2);
   const double p16k3 = Corollary1LowerBound(16, 2, 3);
   const double ring_gap = 1.0 - RingAnalyticLowerBound(16, 2, 3) / p16k3;
+  reporter.Metric("headline.p_recover_n16_m2_k2", p16k2);
+  reporter.Metric("headline.p_recover_n16_m2_k3", p16k3);
+  reporter.Metric("headline.ring_gap_k3", ring_gap);
   const bool pass = std::abs(p16k2 - 0.9333) < 0.001 && std::abs(p16k3 - 0.80) < 0.001 &&
                     std::abs(ring_gap - 0.25) < 0.001;
-  std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL")
-            << " — GEMINI(m=2) recovers 93.3% of double failures and 80.0% of triple\n"
-               "failures at N=16; Ring is 25% lower at k=3; probability rises with N.\n";
-  return pass ? 0 : 1;
+  reporter.ShapeCheck(pass,
+                      "GEMINI(m=2) recovers 93.3% of double failures and 80.0% of triple\n"
+                      "failures at N=16; Ring is 25% lower at k=3; probability rises with N.");
+  return reporter.Finish();
 }

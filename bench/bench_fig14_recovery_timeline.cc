@@ -55,8 +55,10 @@ StatusOr<Measurement> RunScenario(const Scenario& scenario) {
 }  // namespace
 
 int main() {
-  bench::PrintHeader("Figure 14: failure recovery timeline (GPT-2 100B, 16x p4d)",
-                     "paper Figure 14 and Section 7.3 'Overheads incurred by failures'");
+  bench::BenchReporter reporter(
+      "fig14_recovery_timeline",
+      "Figure 14: failure recovery timeline (GPT-2 100B, 16x p4d)",
+      "paper Figure 14 and Section 7.3 'Overheads incurred by failures'");
 
   const SerializationModel serializer;
   const Bytes replica = Gpt2_100B().CheckpointBytesPerMachine(16);
@@ -85,18 +87,22 @@ int main() {
                   TablePrinter::Fmt(ToSeconds(measurement->downtime) / 60.0),
                   FormatDuration(measurement->wasted),
                   std::string(RecoverySourceName(measurement->source))});
+    const std::string key = bench::BenchReporter::MetricKey(scenario.name);
+    reporter.Metric(key + ".detection_seconds", ToSeconds(measurement->detection));
+    reporter.Metric(key + ".downtime_minutes", ToSeconds(measurement->downtime) / 60.0);
+    reporter.Metric(key + ".wasted_seconds", ToSeconds(measurement->wasted));
     downtimes.push_back(ToSeconds(measurement->downtime) / 60.0);
     pass &= measurement->detection < Seconds(30);
     pass &= measurement->wasted <= Seconds(140);  // ~<2 iterations + retrieval.
   }
-  table.Print(std::cout);
+  reporter.Table(table);
 
   // Software ~7 min; hardware with ASG ~8-13 min; standby between.
   pass &= downtimes[0] > 5.5 && downtimes[0] < 8.5;
   pass &= downtimes[1] > downtimes[2];
-  std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL")
-            << " — ~7 min total for software failures, ~12 min for hardware failures\n"
-               "via ASG, with standby machines removing most of the replacement wait;\n"
-               "the training-progress loss itself stays under two iterations.\n";
-  return pass ? 0 : 1;
+  reporter.ShapeCheck(pass,
+                      "~7 min total for software failures, ~12 min for hardware failures\n"
+                      "via ASG, with standby machines removing most of the replacement wait;\n"
+                      "the training-progress loss itself stays under two iterations.");
+  return reporter.Finish();
 }

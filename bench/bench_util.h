@@ -2,11 +2,16 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <map>
 #include <string>
 
 #include "src/baselines/system_model.h"
 #include "src/cluster/instance_spec.h"
+#include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
 #include "src/schedule/executor.h"
 #include "src/training/model_config.h"
@@ -62,6 +67,99 @@ inline void PrintHeader(const std::string& title, const std::string& paper_refer
   std::printf("(reproduces %s)\n", paper_reference.c_str());
   std::printf("================================================================\n");
 }
+
+// Machine-readable bench reporting. A bench constructs one reporter, renders
+// its tables through it, registers the headline metrics of its figure, states
+// the shape check, and returns Finish() from main(). Besides the familiar
+// stdout rendering this writes BENCH_<name>.json next to the sources (repo
+// root; override the directory with $GEMINI_BENCH_OUT_DIR) so scripted
+// comparisons across commits read numbers instead of scraping tables.
+class BenchReporter {
+ public:
+  BenchReporter(std::string name, std::string title, std::string paper_reference)
+      : name_(std::move(name)), title_(std::move(title)), reference_(paper_reference) {
+    PrintHeader(title_, paper_reference);
+  }
+
+  // Renders a table to stdout (same look as before; kept on the reporter so
+  // the human and machine outputs stay side by side at the call site).
+  void Table(const TablePrinter& table) { table.Print(std::cout); }
+
+  void Metric(const std::string& key, double value) {
+    metrics_[key] = JsonWriter::FormatDouble(value);
+  }
+  void Metric(const std::string& key, int64_t value) {
+    metrics_[key] = std::to_string(value);
+  }
+
+  // Records the pass/fail verdict and prints the standard shape-check line.
+  // `claim` is the one-paragraph statement of what the figure shows.
+  void ShapeCheck(bool pass, const std::string& claim) {
+    pass_ = pass;
+    std::cout << "\nShape check: " << (pass ? "PASS" : "FAIL") << " — " << claim << "\n";
+  }
+
+  // Writes BENCH_<name>.json and returns the process exit code.
+  int Finish() const {
+    JsonWriter json(/*indent=*/2);
+    json.BeginObject();
+    json.Key("bench").Value(name_);
+    json.Key("title").Value(title_);
+    json.Key("reference").Value(reference_);
+    json.Key("pass").Value(pass_);
+    json.Key("metrics").BeginObject();
+    for (const auto& [key, raw] : metrics_) {
+      json.Key(key).RawValue(raw);
+    }
+    json.EndObject();
+    json.EndObject();
+    const std::string path = OutDir() + "/BENCH_" + name_ + ".json";
+    const Status written = WriteTextFile(path, json.str());
+    if (!written.ok()) {
+      std::cerr << "bench report write failed: " << written << "\n";
+      return 1;
+    }
+    std::cout << "Report: " << path << "\n";
+    return pass_ ? 0 : 1;
+  }
+
+  // "GPT-2 100B" -> "gpt2_100b": lowercase, runs of non-alphanumerics
+  // collapse to single underscores, so metric keys stay dotted-lowercase.
+  static std::string MetricKey(const std::string& text) {
+    std::string key;
+    for (const char c : text) {
+      if (std::isalnum(static_cast<unsigned char>(c))) {
+        key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+      } else if (!key.empty() && key.back() != '_') {
+        key.push_back('_');
+      }
+    }
+    while (!key.empty() && key.back() == '_') {
+      key.pop_back();
+    }
+    return key;
+  }
+
+ private:
+  static std::string OutDir() {
+    if (const char* dir = std::getenv("GEMINI_BENCH_OUT_DIR"); dir != nullptr && *dir != '\0') {
+      return dir;
+    }
+#ifdef GEMINI_REPO_ROOT
+    return GEMINI_REPO_ROOT;
+#else
+    return ".";
+#endif
+  }
+
+  std::string name_;
+  std::string title_;
+  std::string reference_;
+  bool pass_ = false;
+  // Values are pre-rendered JSON literals, keyed in sorted order for
+  // deterministic files.
+  std::map<std::string, std::string> metrics_;
+};
 
 }  // namespace bench
 }  // namespace gemini

@@ -28,21 +28,21 @@ int main() {
     return 1;
   }
 
+  const SystemSnapshot snapshot = system.Snapshot();
   std::printf("== GEMINI quickstart ==\n");
   std::printf("model:            %s\n", config.model.name.c_str());
   std::printf("cluster:          %d x %s\n", config.num_machines, config.instance.name.c_str());
-  std::printf("placement:        %s, %zu groups\n",
-              std::string(PlacementStrategyName(system.placement().strategy)).c_str(),
-              system.placement().groups.size());
+  std::printf("placement:        %s, %d groups\n", snapshot.placement_strategy.c_str(),
+              snapshot.num_placement_groups);
   std::printf("iteration time:   %s (baseline %s -> overhead %.2f%%)\n",
-              FormatDuration(system.iteration_execution().iteration_time).c_str(),
-              FormatDuration(system.iteration_execution().baseline_iteration_time).c_str(),
-              system.iteration_execution().overhead_fraction * 100.0);
+              FormatDuration(snapshot.iteration_time).c_str(),
+              FormatDuration(snapshot.baseline_iteration_time).c_str(),
+              snapshot.checkpoint_overhead_fraction * 100.0);
   std::printf("ckpt per machine: %s, transmission %s, fits in idle time: %s\n",
               FormatBytes(config.model.CheckpointBytesPerMachine(config.num_machines)).c_str(),
               FormatDuration(system.iteration_execution().partition.planned_transmission_time)
                   .c_str(),
-              system.iteration_execution().partition.fits_within_idle_time ? "yes" : "no");
+              snapshot.checkpoint_fits_iteration ? "yes" : "no");
 
   // Kill one machine (hardware failure) two and a half iterations in.
   const TimeNs failure_at = system.iteration_execution().iteration_time * 5 / 2;
@@ -71,5 +71,21 @@ int main() {
                 FormatDuration(recovery.downtime).c_str());
   }
   std::printf("effective ratio:      %.3f\n", report->effective_training_ratio());
+
+  // The observability layer watched the whole run; dump the highlights.
+  const SystemSnapshot after = system.Snapshot();
+  std::printf("\n== observability ==\n");
+  std::printf("recoveries:           %lld (local=%lld remote=%lld persistent=%lld)\n",
+              static_cast<long long>(after.recoveries),
+              static_cast<long long>(after.recoveries_from_local_cpu),
+              static_cast<long long>(after.recoveries_from_remote_cpu),
+              static_cast<long long>(after.recoveries_from_persistent));
+  std::printf("trainer steps:        %lld\n",
+              static_cast<long long>(system.metrics().counter_value("trainer.steps")));
+  std::printf("store commits:        %lld\n",
+              static_cast<long long>(system.metrics().counter_value("cpu_store.commits")));
+  std::printf("trace records:        %zu (write a Chrome trace with\n"
+              "                      system.tracer().WriteChromeTrace(\"run.trace.json\"))\n",
+              system.tracer().records().size());
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/agent/cloud_operator.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 
@@ -14,9 +15,15 @@ CloudOperator::CloudOperator(Simulator& sim, Cluster& cluster, CloudOperatorConf
 
 void CloudOperator::ReplaceMachine(int rank, std::function<void(Machine&)> done) {
   ++total_replacements_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("cloud.replacements").Increment();
+  }
   TimeNs delay;
   if (standby_available_ > 0) {
     --standby_available_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("cloud.standby_activations").Increment();
+    }
     delay = config_.standby_activation_delay;
     // The failed machine is returned and another standby is requested; it
     // arrives after a full provisioning delay.

@@ -17,6 +17,8 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 struct CloudOperatorConfig {
   TimeNs provision_delay_min = Minutes(4);
   TimeNs provision_delay_max = Minutes(7);
@@ -40,6 +42,9 @@ class CloudOperator {
     return (config_.provision_delay_min + config_.provision_delay_max) / 2;
   }
 
+  // Optional sink for "cloud.*" counters; may stay null.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   Simulator& sim_;
   Cluster& cluster_;
@@ -47,6 +52,7 @@ class CloudOperator {
   Rng rng_;
   int standby_available_;
   int total_replacements_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gemini

@@ -1,6 +1,7 @@
 #include "src/agent/failure_injector.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 
@@ -37,6 +38,9 @@ void FailureInjector::Apply(const FailureEvent& event) {
                       << machine.DebugName() << " at " << FormatDuration(sim_.now());
   }
   ++injected_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("injector.failures_injected").Increment();
+  }
   if (observer_) {
     observer_(event);
   }

@@ -17,6 +17,8 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 enum class FailureType {
   // Training process crash; hardware (and CPU memory contents) survive.
   kSoftware,
@@ -52,6 +54,9 @@ class FailureInjector {
 
   int64_t injected_count() const { return injected_; }
 
+  // Optional sink for "injector.*" counters; may stay null.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void Apply(const FailureEvent& event);
   void ScheduleNextRandom(double rate_per_machine_day, double software_fraction, TimeNs until);
@@ -61,6 +66,7 @@ class FailureInjector {
   Rng rng_;
   std::function<void(const FailureEvent&)> observer_;
   int64_t injected_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gemini

@@ -1,6 +1,7 @@
 #include "src/agent/root_agent.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 
@@ -54,6 +55,9 @@ void RootAgent::OnScanTick() {
     return;
   }
 
+  if (metrics_ != nullptr) {
+    metrics_->counter("agent.root_scans").Increment();
+  }
   const std::map<std::string, KvEntry> health = kv_.List(kHealthKeyPrefix);
   std::vector<int> hardware_failed;
   std::vector<int> software_failed;
@@ -64,6 +68,9 @@ void RootAgent::OnScanTick() {
     const auto it = health.find(kHealthKeyPrefix + std::to_string(rank));
     if (it == health.end()) {
       // Lease expired: the machine stopped heartbeating => hardware failure.
+      if (metrics_ != nullptr) {
+        metrics_->counter("agent.heartbeat_misses").Increment();
+      }
       hardware_failed.push_back(rank);
     } else if (it->second.value == kStatusProcessDown) {
       software_failed.push_back(rank);
@@ -82,6 +89,9 @@ void RootAgent::OnScanTick() {
     report.detected_at = sim_.now();
     GEMINI_LOG(kInfo) << "root agent: detected hardware failure on " << hardware_failed.size()
                       << " machine(s) at " << FormatDuration(sim_.now());
+    if (metrics_ != nullptr) {
+      metrics_->counter("agent.failures_reported").Increment();
+    }
     on_failure_(report);
     return;
   }
@@ -95,6 +105,9 @@ void RootAgent::OnScanTick() {
     report.detected_at = sim_.now();
     GEMINI_LOG(kInfo) << "root agent: detected software failure on " << software_failed.size()
                       << " machine(s) at " << FormatDuration(sim_.now());
+    if (metrics_ != nullptr) {
+      metrics_->counter("agent.failures_reported").Increment();
+    }
     on_failure_(report);
   }
 }

@@ -57,6 +57,9 @@ class RootAgent {
   // Claims the root-leadership key (called at startup and after promotion).
   void ClaimLeadership(LeaseId lease);
 
+  // Optional sink for "agent.*" counters; may stay null.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   void OnScanTick();
 
@@ -67,6 +70,7 @@ class RootAgent {
   AgentConfig config_;
   std::function<void(const FailureReport&)> on_failure_;
   std::unique_ptr<RepeatingTimer> scan_timer_;
+  MetricsRegistry* metrics_ = nullptr;
   std::set<int> handled_;
   bool paused_ = false;
   TimeNs grace_until_ = 0;

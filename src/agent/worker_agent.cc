@@ -1,6 +1,7 @@
 #include "src/agent/worker_agent.h"
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 
@@ -46,6 +47,9 @@ void WorkerAgent::AcquireLeaseAndPublish() {
       return;
     }
     lease_ = *lease;
+    if (metrics_ != nullptr) {
+      metrics_->counter("agent.lease_acquired").Increment();
+    }
     PublishStatus(last_status_);
   });
 }
@@ -62,7 +66,12 @@ void WorkerAgent::PublishStatus(const std::string& status) {
   });
 }
 
-void WorkerAgent::ReportProcessDown() { PublishStatus(kStatusProcessDown); }
+void WorkerAgent::ReportProcessDown() {
+  if (metrics_ != nullptr) {
+    metrics_->counter("agent.process_down_reports").Increment();
+  }
+  PublishStatus(kStatusProcessDown);
+}
 
 void WorkerAgent::ReportHealthy() { PublishStatus(kStatusHealthy); }
 
@@ -75,6 +84,9 @@ void WorkerAgent::OnKeepAliveTick() {
   if (lease_ == kNoLease) {
     AcquireLeaseAndPublish();
     return;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("agent.keepalives").Increment();
   }
   kv_.LeaseKeepAlive(lease_, [this](Status status) {
     if (!status.ok() && started_ && machine_ok()) {
@@ -97,6 +109,9 @@ void WorkerAgent::OnRootWatchTick() {
   }
   // Root key expired: campaign. The key is attached to our health lease so a
   // root that later dies is detected the same way.
+  if (metrics_ != nullptr) {
+    metrics_->counter("agent.root_campaigns").Increment();
+  }
   kv_.PutIfAbsent(kRootKey, std::to_string(rank_), lease_, [this](Status status) {
     if (!status.ok()) {
       return;

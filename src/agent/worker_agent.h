@@ -21,6 +21,8 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 inline constexpr char kHealthKeyPrefix[] = "/gemini/health/";
 inline constexpr char kRootKey[] = "/gemini/root";
 
@@ -57,6 +59,9 @@ class WorkerAgent {
     on_promoted_ = std::move(callback);
   }
 
+  // Optional sink for "agent.*" counters; may stay null.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
  private:
   std::string health_key() const { return kHealthKeyPrefix + std::to_string(rank_); }
   bool machine_ok() const { return cluster_.machine(rank_).alive(); }
@@ -77,6 +82,7 @@ class WorkerAgent {
   std::unique_ptr<RepeatingTimer> keepalive_timer_;
   std::unique_ptr<RepeatingTimer> root_watch_timer_;
   std::function<void()> on_promoted_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace gemini

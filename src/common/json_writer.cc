@@ -1,0 +1,175 @@
+#include "src/common/json_writer.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace gemini {
+
+void JsonWriter::NewlineAndIndent() {
+  if (indent_ <= 0) {
+    return;
+  }
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<size_t>(indent_), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) {
+    return;
+  }
+  if (stack_.back().count++ > 0) {
+    out_ += ',';
+  }
+  NewlineAndIndent();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope{'}'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back().close == '}');
+  const bool had_members = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) {
+    NewlineAndIndent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope{']'});
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && stack_.back().close == ']');
+  const bool had_members = stack_.back().count > 0;
+  stack_.pop_back();
+  if (had_members) {
+    NewlineAndIndent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back().close == '}');
+  if (stack_.back().count++ > 0) {
+    out_ += ',';
+  }
+  NewlineAndIndent();
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += indent_ > 0 ? "\": " : "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double value) {
+  BeforeValue();
+  out_ += FormatDouble(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::RawValue(std::string_view json) {
+  BeforeValue();
+  out_ += json;
+  return *this;
+}
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonWriter::FormatDouble(double value) {
+  if (!std::isfinite(value)) {
+    return "null";
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  assert(ec == std::errc());
+  return std::string(buf, end);
+}
+
+Status WriteTextFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return UnavailableError("cannot open file for writing: " + path);
+  }
+  out << contents;
+  if (!out) {
+    return DataLossError("short write to file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace gemini

@@ -1,0 +1,74 @@
+// Minimal streaming JSON writer shared by the observability exporters
+// (Chrome trace, JSONL event log, metrics dump) and the bench reporter.
+//
+// Determinism matters more than features here: numbers are formatted with
+// std::to_chars (shortest round-trip, locale-independent), members are
+// emitted in caller order, and equal inputs always produce byte-identical
+// output — the property the same-seed reproducibility tests assert.
+#ifndef SRC_COMMON_JSON_WRITER_H_
+#define SRC_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gemini {
+
+class JsonWriter {
+ public:
+  // `indent` > 0 pretty-prints with that many spaces per level; 0 is compact.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  // Starts an object member; must be followed by a value or Begin*().
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value) { return Value(std::string_view(value)); }
+  JsonWriter& Value(bool value);
+  JsonWriter& Value(int value) { return Value(static_cast<int64_t>(value)); }
+  JsonWriter& Value(int64_t value);
+  JsonWriter& Value(uint64_t value);
+  JsonWriter& Value(double value);
+
+  // Splices pre-rendered JSON in verbatim (for nesting a finished document).
+  JsonWriter& RawValue(std::string_view json);
+
+  const std::string& str() const { return out_; }
+
+  // JSON string escaping (quotes not included).
+  static std::string Escape(std::string_view s);
+  // Shortest round-trip double formatting ("62", "0.5", "1e-09"); non-finite
+  // values render as null (JSON has no NaN/Inf).
+  static std::string FormatDouble(double value);
+
+ private:
+  // Comma/newline bookkeeping before an array element or object member value.
+  void BeforeValue();
+  void NewlineAndIndent();
+
+  std::string out_;
+  int indent_ = 0;
+  struct Scope {
+    char close;
+    int count = 0;
+  };
+  std::vector<Scope> stack_;
+  bool pending_key_ = false;
+};
+
+// Writes `contents` to `path`, truncating. kUnavailable when the file cannot
+// be opened, kDataLoss on a short write — shared by the trace/JSONL/bench
+// exporters.
+Status WriteTextFile(const std::string& path, std::string_view contents);
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_JSON_WRITER_H_

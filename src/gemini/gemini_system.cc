@@ -51,6 +51,7 @@ Status GeminiSystem::Initialize() {
   cpu_stores_.clear();
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     cpu_stores_.push_back(std::make_unique<CpuCheckpointStore>(cluster_->machine(rank)));
+    cpu_stores_.back()->set_metrics(&metrics_);
   }
   for (int owner = 0; owner < config_.num_machines; ++owner) {
     for (const int holder : placement_.replica_sets[static_cast<size_t>(owner)]) {
@@ -62,7 +63,9 @@ Status GeminiSystem::Initialize() {
   // ---- Trainer and persistent tier (seeded with the initial checkpoint).
   trainer_ = std::make_unique<ShardedTrainer>(config_.model, config_.num_machines,
                                               config_.payload_elements, config_.seed);
+  trainer_->set_metrics(&metrics_);
   persistent_ = std::make_unique<PersistentStore>(sim_, config_.persistent);
+  persistent_->set_metrics(&metrics_);
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     persistent_->SeedImmediate(trainer_->MakeCheckpoint(rank), config_.num_machines);
   }
@@ -76,6 +79,7 @@ Status GeminiSystem::Initialize() {
       sim_, cluster_->fabric(), kv_ranks,
       [this](int rank) { return cluster_->machine(rank).alive(); }, config_.kvstore,
       config_.seed ^ 0x6b76ULL);
+  kvstore_->set_observability(&metrics_, &tracer_);
   kvstore_->Start();
 
   // ---- Agents: every machine runs a worker agent; the first one to win the
@@ -85,6 +89,7 @@ Status GeminiSystem::Initialize() {
     auto worker =
         std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
     worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
+    worker->set_metrics(&metrics_);
     worker->Start();
     workers_.push_back(std::move(worker));
   }
@@ -92,7 +97,9 @@ Status GeminiSystem::Initialize() {
   // ---- Cloud operator and failure injection.
   cloud_ = std::make_unique<CloudOperator>(sim_, *cluster_, config_.cloud,
                                            config_.seed ^ 0x636cULL);
+  cloud_->set_metrics(&metrics_);
   injector_ = std::make_unique<FailureInjector>(sim_, *cluster_, config_.seed ^ 0x666cULL);
+  injector_->set_metrics(&metrics_);
   injector_->set_observer([this](const FailureEvent& event) {
     // Synchronous training hangs the moment any participant fails: the
     // in-flight iteration (and its in-flight checkpoint) never completes.
@@ -208,6 +215,7 @@ void GeminiSystem::StartNextIteration() {
   // paper's common case: stage and commit within the same iteration.
   const int64_t iteration = trainer_->iteration();
   const int interval = checkpoint_interval_iterations_;
+  iteration_started_at_ = sim_.now();
   if (iteration % interval == 0) {
     staged_snapshots_.clear();
     for (int owner = 0; owner < config_.num_machines; ++owner) {
@@ -216,6 +224,7 @@ void GeminiSystem::StartNextIteration() {
       }
     }
     staged_iteration_ = iteration;
+    staged_at_ = sim_.now();
   }
   if (config_.num_replicas >= 1 && iteration % interval == interval - 1 &&
       staged_iteration_ >= 0) {
@@ -259,9 +268,16 @@ void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
     }
   }
   ++report_.cpu_checkpoints_committed;
+  metrics_.counter("system.cpu_checkpoint_commits").Increment();
+  tracer_.Span("checkpoint_block", "checkpoint", staged_at_, sim_.now(),
+               {TraceAttr::Int("iteration", snapshot_iteration)});
+  tracer_.Event("checkpoint_commit", "checkpoint",
+                {TraceAttr::Int("iteration", snapshot_iteration)});
 }
 
 void GeminiSystem::OnIterationComplete() {
+  tracer_.Span("iteration", "training", iteration_started_at_, sim_.now(),
+               {TraceAttr::Int("iteration", trainer_->iteration())});
   trainer_->Step();
   MaybePersistentCheckpoint();
 }
@@ -283,6 +299,9 @@ void GeminiSystem::MaybePersistentCheckpoint() {
     persistent_->Save(trainer_->MakeCheckpoint(rank), config_.num_machines, [](Status) {});
   }
   ++report_.persistent_checkpoints_committed;
+  metrics_.counter("system.persistent_checkpoints").Increment();
+  tracer_.Span("persistent_serialize", "checkpoint", sim_.now(), sim_.now() + serialize,
+               {TraceAttr::Int("iteration", trainer_->iteration())});
   sim_.ScheduleAfter(serialize, [this] { StartNextIteration(); });
 }
 
@@ -305,6 +324,11 @@ void GeminiSystem::OnFailureDetected(const FailureReport& report) {
   if (root_agent_ != nullptr) {
     root_agent_->SetPaused(true);
   }
+  metrics_.counter("system.failures_detected").Increment();
+  tracer_.Event("failure_detected", "recovery",
+                {TraceAttr::Text("type", std::string(FailureTypeName(report.type))),
+                 TraceAttr::Int("num_ranks", static_cast<int64_t>(report.ranks.size())),
+                 TraceAttr::Int("iteration", trainer_->iteration())});
   GEMINI_LOG(kInfo) << "recovery: handling " << FailureTypeName(report.type) << " failure of "
                     << report.ranks.size() << " machine(s)";
   if (report.type == FailureType::kSoftware) {
@@ -469,6 +493,8 @@ void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record,
     record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
                              execution_.iteration_time +
                          (sim_.now() - retrieval_started);
+    tracer_.Span("retrieval", "recovery", retrieval_started, sim_.now(),
+                 {TraceAttr::Text("source", std::string(RecoverySourceName(record.source)))});
     sim_.ScheduleAfter(config_.restart_warmup,
                        [this, record]() mutable { ResumeTraining(record); });
   };
@@ -559,6 +585,8 @@ void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
           record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
                                    execution_.iteration_time +
                                (sim_.now() - retrieval_started);
+          tracer_.Span("retrieval", "recovery", retrieval_started, sim_.now(),
+                       {TraceAttr::Text("source", std::string(RecoverySourceName(record.source)))});
           sim_.ScheduleAfter(config_.restart_warmup,
                              [this, record]() mutable { ResumeTraining(record); });
         });
@@ -576,6 +604,32 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
                     << " from " << RecoverySourceName(record.source) << " (downtime "
                     << FormatDuration(record.downtime) << ", wasted "
                     << FormatDuration(record.wasted_time) << ")";
+  metrics_.counter("system.recoveries").Increment();
+  switch (record.source) {
+    case RecoverySource::kLocalCpuMemory:
+      metrics_.counter("system.recoveries.local_cpu").Increment();
+      break;
+    case RecoverySource::kRemoteCpuMemory:
+      metrics_.counter("system.recoveries.remote_cpu").Increment();
+      break;
+    case RecoverySource::kPersistentStorage:
+      metrics_.counter("system.recoveries.persistent").Increment();
+      break;
+  }
+  metrics_.histogram("system.recovery.downtime_seconds")
+      .Observe(static_cast<double>(record.downtime) / 1e9);
+  metrics_.histogram("system.recovery.wasted_seconds")
+      .Observe(static_cast<double>(record.wasted_time) / 1e9);
+  // The recovery span covers detection -> resume by construction, so its
+  // duration equals record.downtime; the attrs carry the rest of the record.
+  tracer_.Span("recovery", "recovery", record.failure_detected_at, record.training_resumed_at,
+               {TraceAttr::Text("type", std::string(FailureTypeName(record.type))),
+                TraceAttr::Text("source", std::string(RecoverySourceName(record.source))),
+                TraceAttr::Int("rollback_iteration", record.rollback_iteration),
+                TraceAttr::Int("wasted_time_ns", record.wasted_time),
+                TraceAttr::Int("downtime_ns", record.downtime)});
+  tracer_.Event("training_resumed", "recovery",
+                {TraceAttr::Int("iteration", record.rollback_iteration)});
   report_.recoveries.push_back(record);
   recovering_ = false;
   if (root_agent_ != nullptr) {
@@ -589,6 +643,7 @@ void GeminiSystem::RestartAgentsForRank(int rank) {
   workers_[static_cast<size_t>(rank)]->Stop();
   auto worker = std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
   worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
+  worker->set_metrics(&metrics_);
   worker->Start();
   workers_[static_cast<size_t>(rank)] = std::move(worker);
 }
@@ -598,6 +653,8 @@ void GeminiSystem::OnWorkerPromotedToRoot(int rank) {
     return;  // Already the root.
   }
   GEMINI_LOG(kInfo) << "root agent now running on rank " << rank;
+  metrics_.counter("system.root_promotions").Increment();
+  tracer_.Event("root_promoted", "recovery", {TraceAttr::Int("rank", rank)});
   root_rank_ = rank;
   if (root_agent_ != nullptr) {
     root_agent_->Stop();
@@ -605,7 +662,43 @@ void GeminiSystem::OnWorkerPromotedToRoot(int rank) {
   root_agent_ = std::make_unique<RootAgent>(
       sim_, *cluster_, *kvstore_, rank, config_.agent,
       [this](const FailureReport& report) { OnFailureDetected(report); });
+  root_agent_->set_metrics(&metrics_);
   root_agent_->Start();
+}
+
+SystemSnapshot GeminiSystem::Snapshot() const {
+  SystemSnapshot snapshot;
+  snapshot.placement_strategy = std::string(PlacementStrategyName(placement_.strategy));
+  snapshot.num_machines = config_.num_machines;
+  snapshot.num_replicas = config_.num_replicas;
+  snapshot.num_placement_groups = static_cast<int>(placement_.groups.size());
+  snapshot.iteration_time = execution_.iteration_time;
+  snapshot.baseline_iteration_time = execution_.baseline_iteration_time;
+  snapshot.checkpoint_overhead_fraction = execution_.overhead_fraction;
+  snapshot.checkpoint_fits_iteration = execution_.checkpoint_within_iteration;
+  snapshot.checkpoint_interval_iterations = checkpoint_interval_iterations_;
+  snapshot.profiled_iterations = profile_.iterations_profiled;
+  snapshot.profile_max_normalized_stddev = profile_.max_normalized_stddev;
+  snapshot.profile_mean_iteration_time = profile_.mean_iteration_time;
+  snapshot.iterations_completed = trainer_ != nullptr ? trainer_->iteration() : 0;
+  snapshot.cpu_checkpoints_committed = report_.cpu_checkpoints_committed;
+  snapshot.persistent_checkpoints_committed = report_.persistent_checkpoints_committed;
+  snapshot.recoveries = static_cast<int64_t>(report_.recoveries.size());
+  for (const RecoveryRecord& record : report_.recoveries) {
+    switch (record.source) {
+      case RecoverySource::kLocalCpuMemory:
+        ++snapshot.recoveries_from_local_cpu;
+        break;
+      case RecoverySource::kRemoteCpuMemory:
+        ++snapshot.recoveries_from_remote_cpu;
+        break;
+      case RecoverySource::kPersistentStorage:
+        ++snapshot.recoveries_from_persistent;
+        break;
+    }
+  }
+  snapshot.root_rank = root_rank_;
+  return snapshot;
 }
 
 }  // namespace gemini

@@ -34,6 +34,8 @@
 #include "src/baselines/system_model.h"
 #include "src/cluster/cluster.h"
 #include "src/kvstore/kv_store.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
 #include "src/placement/placement.h"
 #include "src/schedule/executor.h"
 #include "src/storage/cpu_store.h"
@@ -85,6 +87,41 @@ struct RecoveryRecord {
   TimeNs downtime = 0;
 };
 
+// One-call introspection surface: the configuration-derived facts (placement,
+// schedule, profile) plus run-to-date progress counters. Everything here is
+// also reachable through the individual getters; Snapshot() exists so tests,
+// examples, and benches read one coherent struct instead of poking at five
+// subsystems.
+struct SystemSnapshot {
+  // Placement (Algorithm 1).
+  std::string placement_strategy;
+  int num_machines = 0;
+  int num_replicas = 0;
+  int num_placement_groups = 0;
+
+  // Scheduled iteration (Algorithm 2 outcome).
+  TimeNs iteration_time = 0;
+  TimeNs baseline_iteration_time = 0;
+  double checkpoint_overhead_fraction = 0.0;
+  bool checkpoint_fits_iteration = false;
+  int checkpoint_interval_iterations = 1;
+
+  // Profile digest (Section 5.2).
+  int profiled_iterations = 0;
+  double profile_max_normalized_stddev = 0.0;
+  TimeNs profile_mean_iteration_time = 0;
+
+  // Run progress.
+  int64_t iterations_completed = 0;
+  int64_t cpu_checkpoints_committed = 0;
+  int64_t persistent_checkpoints_committed = 0;
+  int64_t recoveries = 0;
+  int64_t recoveries_from_local_cpu = 0;
+  int64_t recoveries_from_remote_cpu = 0;
+  int64_t recoveries_from_persistent = 0;
+  int root_rank = 0;
+};
+
 struct TrainingReport {
   int64_t iterations_completed = 0;
   TimeNs wall_time = 0;
@@ -121,6 +158,19 @@ class GeminiSystem {
   // simulated time: exceeding it returns the report so far (e.g. a failure
   // storm that takes out the KV quorum would otherwise never finish).
   StatusOr<TrainingReport> TrainUntil(int64_t target_iterations, TimeNs sim_deadline = 0);
+
+  // ---- Observability ------------------------------------------------------
+  // Every component of the system reports into this registry ("cpu_store.*",
+  // "kv.*", "agent.*", "system.*", ...) and the tracer records the run's
+  // span/event timeline (iterations, checkpoint blocks, failure->resume
+  // windows). Both are deterministic: same seed, same export bytes.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  RunTracer& tracer() { return tracer_; }
+  const RunTracer& tracer() const { return tracer_; }
+
+  // Coherent one-struct view of placement/schedule/profile/progress.
+  SystemSnapshot Snapshot() const;
 
   // ---- Introspection ------------------------------------------------------
   Simulator& sim() { return sim_; }
@@ -168,6 +218,8 @@ class GeminiSystem {
 
   GeminiConfig config_;
   Simulator sim_;
+  MetricsRegistry metrics_;
+  RunTracer tracer_{sim_};
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<KvStoreCluster> kvstore_;
   std::unique_ptr<PersistentStore> persistent_;
@@ -188,6 +240,8 @@ class GeminiSystem {
   // the staging buffers until the block's last iteration commits it.
   std::vector<Checkpoint> staged_snapshots_;
   int64_t staged_iteration_ = -1;
+  TimeNs staged_at_ = 0;
+  TimeNs iteration_started_at_ = 0;
 
   bool initialized_ = false;
   bool running_ = false;

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 namespace {
@@ -11,6 +12,7 @@ namespace {
 // Shared completion state across all streams of one snapshot.
 struct Outcome {
   ReplicationOutcome result;
+  MetricsRegistry* metrics = nullptr;
   int pending_streams = 0;
   bool failed = false;
   std::function<void(ReplicationOutcome)> done;
@@ -72,6 +74,11 @@ struct Stream : std::enable_shared_from_this<Stream> {
             return;
           }
           ++self->outcome->result.chunks_transferred;
+          if (self->outcome->metrics != nullptr) {
+            self->outcome->metrics->counter("replicator.chunks_transferred").Increment();
+            self->outcome->metrics->counter("replicator.bytes_replicated")
+                .Increment(chunk.bytes);
+          }
           self->outcome->result.network_done =
               std::max(self->outcome->result.network_done, self->cluster->sim().now());
           // Stage the received chunk into CPU memory.
@@ -106,6 +113,9 @@ struct Stream : std::enable_shared_from_this<Stream> {
         outcome->Fail(committed);
         return;
       }
+      if (outcome->metrics != nullptr) {
+        outcome->metrics->counter("replicator.commits").Increment();
+      }
       outcome->StreamFinished(cluster->sim().now());
       return;
     }
@@ -125,6 +135,7 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
   assert(static_cast<int>(snapshots.size()) == cluster.size());
 
   auto outcome = std::make_shared<Outcome>();
+  outcome->metrics = config.metrics;
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;

@@ -28,10 +28,14 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 struct ReplicatorConfig {
   // Number of in-flight sub-buffers on the receive path (pipeline depth p).
   int num_buffers = 4;
   TimeNs comm_alpha = Micros(100);
+  // Optional sink for "replicator.*" counters; may stay null.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ReplicationOutcome {

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
 
 namespace gemini {
 
@@ -270,6 +272,9 @@ void KvNode::OnElectionTimeout() {
 void KvNode::StartElection() {
   role_ = Role::kCandidate;
   ++term_;
+  if (cluster_.metrics_ != nullptr) {
+    cluster_.metrics_->counter("kv.elections_started").Increment();
+  }
   voted_for_ = index_;
   votes_received_ = 1;
   leader_index_.reset();
@@ -359,6 +364,14 @@ void KvNode::BecomeFollower(uint64_t term) {
 
 void KvNode::BecomeLeader() {
   GEMINI_LOG(kDebug) << "kv node " << index_ << " becomes leader for term " << term_;
+  if (cluster_.metrics_ != nullptr) {
+    cluster_.metrics_->counter("kv.elections_won").Increment();
+  }
+  if (cluster_.tracer_ != nullptr) {
+    cluster_.tracer_->Event("kv_leader_elected", "kvstore",
+                            {TraceAttr::Int("rank", rank_),
+                             TraceAttr::Int("term", static_cast<int64_t>(term_))});
+  }
   role_ = Role::kLeader;
   leader_index_ = index_;
   const size_t n = cluster_.server_ranks_.size();
@@ -620,6 +633,9 @@ void KvNode::Propose(KvOp op, std::function<void(Status)> done) {
   if (role_ != Role::kLeader) {
     done(UnavailableError("kvstore: not leader"));
     return;
+  }
+  if (cluster_.metrics_ != nullptr) {
+    cluster_.metrics_->counter("kv.proposals").Increment();
   }
   log_.push_back(LogEntry{term_, std::move(op)});
   const uint64_t index = LastLogIndex();

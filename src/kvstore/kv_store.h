@@ -29,6 +29,9 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+class RunTracer;
+
 struct KvStoreConfig {
   TimeNs heartbeat_interval = Millis(100);
   // Election timeouts are drawn uniformly from [min, max] per node.
@@ -53,6 +56,13 @@ class KvStoreCluster {
 
   // Starts all nodes' timers (election timers armed immediately).
   void Start();
+
+  // Optional observability sinks ("kv.*" metrics; election trace events).
+  // Set before Start() so the first election is captured.
+  void set_observability(MetricsRegistry* metrics, RunTracer* tracer) {
+    metrics_ = metrics;
+    tracer_ = tracer;
+  }
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<int>& server_ranks() const { return server_ranks_; }
@@ -104,6 +114,8 @@ class KvStoreCluster {
   std::vector<int> server_ranks_;
   std::function<bool(int)> alive_;
   KvStoreConfig config_;
+  MetricsRegistry* metrics_ = nullptr;
+  RunTracer* tracer_ = nullptr;
   std::vector<std::unique_ptr<KvNode>> nodes_;
   uint64_t next_watch_id_ = 1;
   struct WatchReg {

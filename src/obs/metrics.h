@@ -1,0 +1,97 @@
+// MetricsRegistry: named counters, gauges, and histograms for the whole
+// system (the observability substrate behind the paper's measured claims).
+//
+// GeminiSystem owns one registry and threads it into the trainer, the
+// replicator, the CPU/persistent checkpoint stores, the KV store, the agents
+// and the recovery paths; every heartbeat miss, checkpoint commit, replica
+// fetch, rollback and election increments a metric. Components hold a
+// nullable `MetricsRegistry*` so all of them also run metric-free (unit
+// tests, analytic benches).
+//
+// Naming convention: lowercase dotted hierarchy, "<component>.<event>"
+// (e.g. "cpu_store.commits", "kv.elections_won"). The JSON export walks
+// names in lexicographic order so dumps are deterministic.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/stats.h"
+
+namespace gemini {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+// Point-in-time level (queue depth, bytes resident, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// Sample distribution: streaming moments plus exact quantiles (suitable for
+// the event counts simulation runs produce).
+class Histogram {
+ public:
+  void Observe(double sample) {
+    stat_.Add(sample);
+    sketch_.Add(sample);
+  }
+  int64_t count() const { return stat_.count(); }
+  const RunningStat& stat() const { return stat_; }
+  double Quantile(double q) const { return sketch_.Quantile(q); }
+
+ private:
+  RunningStat stat_;
+  QuantileSketch sketch_;
+};
+
+class MetricsRegistry {
+ public:
+  // Fetches (creating on first use) the metric with `name`. Returned
+  // references are owned by the registry and stay valid for its lifetime.
+  // Each name binds to exactly one metric kind; reusing a counter name as a
+  // gauge (or vice versa) is a programming error and asserts in debug builds.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Read-side lookups: value of a counter/gauge (0 when never touched), or
+  // nullptr for an absent histogram.
+  int64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Deterministic dump:
+  //   {"counters":{...},"gauges":{...},
+  //    "histograms":{name:{count,mean,min,max,p50,p99}}}
+  std::string ToJson(int indent = 0) const;
+
+ private:
+  // unique_ptr for reference stability across rehash-free map growth.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_OBS_METRICS_H_

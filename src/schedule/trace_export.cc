@@ -1,7 +1,9 @@
 #include "src/schedule/trace_export.h"
 
-#include <fstream>
-#include <sstream>
+#include <vector>
+
+#include "src/common/json_writer.h"
+#include "src/obs/run_tracer.h"
 
 namespace gemini {
 namespace {
@@ -18,17 +20,14 @@ const char* CommKindName(CommKind kind) {
   return "comm";
 }
 
-// One complete-event ("ph":"X") entry; timestamps in microseconds.
-void AppendEvent(std::ostringstream& os, bool& first, const char* name, const char* track,
-                 TimeNs start, TimeNs duration) {
-  if (!first) {
-    os << ",\n";
-  }
-  first = false;
-  os << "  {\"name\": \"" << name << "\", \"cat\": \"gemini\", \"ph\": \"X\", \"ts\": "
-     << static_cast<double>(start) / 1000.0
-     << ", \"dur\": " << static_cast<double>(duration) / 1000.0
-     << ", \"pid\": 1, \"tid\": \"" << track << "\"}";
+TraceRecord SpanRecord(const char* name, const char* track, TimeNs start, TimeNs duration) {
+  TraceRecord record;
+  record.kind = TraceRecordKind::kSpan;
+  record.name = name;
+  record.track = track;
+  record.start = start;
+  record.duration = duration;
+  return record;
 }
 
 }  // namespace
@@ -36,15 +35,13 @@ void AppendEvent(std::ostringstream& os, bool& first, const char* name, const ch
 std::string TimelineToChromeTrace(const IterationTimeline& timeline,
                                   const PartitionResult& partition,
                                   BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha) {
-  std::ostringstream os;
-  os << "{\n\"traceEvents\": [\n";
-  bool first = true;
+  std::vector<TraceRecord> records;
   for (const CommSegment& segment : timeline.comm) {
-    AppendEvent(os, first, CommKindName(segment.kind), "network", segment.start,
-                segment.duration);
+    records.push_back(
+        SpanRecord(CommKindName(segment.kind), "network", segment.start, segment.duration));
   }
   for (const IdleSpan& span : timeline.idle_spans) {
-    AppendEvent(os, first, "idle", "idle", span.start, span.length);
+    records.push_back(SpanRecord("idle", "idle", span.start, span.length));
   }
   // Chunks render front-loaded within their span, matching the greedy
   // execution order.
@@ -55,27 +52,19 @@ std::string TimelineToChromeTrace(const IterationTimeline& timeline,
   for (const ChunkAssignment& chunk : partition.chunks) {
     const size_t span = static_cast<size_t>(chunk.span_index);
     const TimeNs duration = comm_alpha + TransferTime(chunk.bytes, checkpoint_bandwidth);
-    AppendEvent(os, first, "ckpt chunk", "checkpoint", cursor[span], duration);
+    records.push_back(SpanRecord("ckpt chunk", "checkpoint", cursor[span], duration));
     cursor[span] += duration;
   }
-  AppendEvent(os, first, "optimizer update", "compute", timeline.update_start,
-              timeline.update_duration);
-  os << "\n],\n\"displayTimeUnit\": \"ms\"\n}\n";
-  return os.str();
+  records.push_back(
+      SpanRecord("optimizer update", "compute", timeline.update_start, timeline.update_duration));
+  return ChromeTraceJson(records);
 }
 
 Status WriteChromeTrace(const std::string& path, const IterationTimeline& timeline,
                         const PartitionResult& partition,
                         BytesPerSecond checkpoint_bandwidth, TimeNs comm_alpha) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return UnavailableError("cannot open trace file for writing: " + path);
-  }
-  out << TimelineToChromeTrace(timeline, partition, checkpoint_bandwidth, comm_alpha);
-  if (!out) {
-    return DataLossError("short write to trace file: " + path);
-  }
-  return Status::Ok();
+  return WriteTextFile(
+      path, TimelineToChromeTrace(timeline, partition, checkpoint_bandwidth, comm_alpha));
 }
 
 }  // namespace gemini

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace gemini {
 
 void CpuCheckpointStore::ResetForMachine(Machine& machine) {
@@ -89,6 +91,10 @@ Status CpuCheckpointStore::CommitWrite(Checkpoint checkpoint) {
   slot.writing = false;
   slot.writing_iteration = -1;
   slot.received = 0;
+  if (metrics_ != nullptr) {
+    metrics_->counter("cpu_store.commits").Increment();
+    metrics_->counter("cpu_store.bytes_committed").Increment(slot.completed->logical_bytes);
+  }
   return Status::Ok();
 }
 
@@ -96,6 +102,9 @@ void CpuCheckpointStore::AbortWrite(int owner_rank) {
   auto it = slots_.find(owner_rank);
   if (it == slots_.end()) {
     return;
+  }
+  if (it->second.writing && metrics_ != nullptr) {
+    metrics_->counter("cpu_store.aborts").Increment();
   }
   it->second.writing = false;
   it->second.writing_iteration = -1;

@@ -21,9 +21,15 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 class CpuCheckpointStore {
  public:
   explicit CpuCheckpointStore(Machine& machine) : machine_(&machine) {}
+
+  // Optional observability sink ("cpu_store.*" counters); survives
+  // ResetForMachine (the registry outlives machine incarnations).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   // Called when the machine is swapped for a new incarnation: all contents
   // are lost with the old machine's DRAM.
@@ -66,6 +72,7 @@ class CpuCheckpointStore {
   };
 
   Machine* machine_;
+  MetricsRegistry* metrics_ = nullptr;
   std::map<int, Slot> slots_;
   Bytes reserved_ = 0;
 };

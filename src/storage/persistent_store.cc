@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/obs/metrics.h"
 #include "src/storage/serializer.h"
 
 namespace gemini {
@@ -72,6 +73,10 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
       bytes, [this, checkpoint = std::move(checkpoint), expected_world_size,
               done = std::move(done)]() mutable {
         bytes_written_ += checkpoint.logical_bytes;
+        if (metrics_ != nullptr) {
+          metrics_->counter("persistent.saves").Increment();
+          metrics_->counter("persistent.bytes_written").Increment(checkpoint.logical_bytes);
+        }
         const int64_t iteration = checkpoint.iteration;
         const std::string path = ShardPath(checkpoint.owner_rank, iteration);
         if (!path.empty()) {
@@ -89,6 +94,9 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
 
 TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
                                  std::function<void(StatusOr<Checkpoint>)> done) {
+  if (metrics_ != nullptr) {
+    metrics_->counter("persistent.retrievals").Increment();
+  }
   const std::optional<Checkpoint> shard = Peek(owner_rank, iteration);
   if (!shard.has_value()) {
     // Lookup miss costs only the request latency.

@@ -37,12 +37,17 @@ struct PersistentStoreConfig {
   std::string disk_dir;
 };
 
+class MetricsRegistry;
+
 class PersistentStore {
  public:
   PersistentStore(Simulator& sim, PersistentStoreConfig config)
       : sim_(sim), config_(config) {}
 
   const PersistentStoreConfig& config() const { return config_; }
+
+  // Optional observability sink ("persistent.*" counters).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   using DoneCallback = std::function<void(Status)>;
 
@@ -84,6 +89,7 @@ class PersistentStore {
 
   Simulator& sim_;
   PersistentStoreConfig config_;
+  MetricsRegistry* metrics_ = nullptr;
   TimeNs busy_until_ = 0;
   Bytes bytes_written_ = 0;
   // iteration -> owner -> shard; complete-set tracking by expected world.

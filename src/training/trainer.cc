@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/obs/metrics.h"
+
 namespace gemini {
 namespace {
 
@@ -45,6 +47,9 @@ void ShardedTrainer::Step() {
     }
   }
   ++iteration_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("trainer.steps").Increment();
+  }
 }
 
 const std::vector<float>& ShardedTrainer::shard(int rank) const {
@@ -90,6 +95,12 @@ Status ShardedTrainer::RestoreAll(const std::vector<Checkpoint>& checkpoints) {
   }
   for (const Checkpoint& checkpoint : checkpoints) {
     GEMINI_RETURN_IF_ERROR(RestoreShard(checkpoint));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("trainer.restores").Increment();
+    if (iteration < iteration_) {
+      metrics_->counter("trainer.rollback_iterations").Increment(iteration_ - iteration);
+    }
   }
   iteration_ = iteration;
   return Status::Ok();

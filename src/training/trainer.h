@@ -20,12 +20,17 @@
 
 namespace gemini {
 
+class MetricsRegistry;
+
 class ShardedTrainer {
  public:
   // `payload_elements` controls the real floats per shard (small; tests use
   // a few hundred). Logical checkpoint size comes from `model`.
   ShardedTrainer(const ModelConfig& model, int num_machines, int payload_elements,
                  uint64_t seed);
+
+  // Optional observability sink ("trainer.*" counters).
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
   int num_machines() const { return num_machines_; }
   int64_t iteration() const { return iteration_; }
@@ -56,6 +61,7 @@ class ShardedTrainer {
   int num_machines_;
   uint64_t seed_;
   int64_t iteration_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
   std::vector<std::vector<float>> shards_;
 };
 

@@ -53,10 +53,11 @@ TEST(GeminiSystemTest, InitializeBuildsPlacementAndReservations) {
   GeminiSystem system(config);
   ASSERT_TRUE(system.Initialize().ok());
 
-  const PlacementPlan& plan = system.placement();
-  EXPECT_EQ(plan.num_machines, 8);
-  EXPECT_EQ(plan.num_replicas, 2);
-  EXPECT_EQ(plan.groups.size(), 4u);
+  const SystemSnapshot snapshot = system.Snapshot();
+  EXPECT_EQ(snapshot.placement_strategy, "mixed");
+  EXPECT_EQ(snapshot.num_machines, 8);
+  EXPECT_EQ(snapshot.num_replicas, 2);
+  EXPECT_EQ(snapshot.num_placement_groups, 4);
 
   // Every machine hosts exactly its replica-set owners, double-buffered.
   const Bytes replica = config.model.CheckpointBytesPerMachine(8);
@@ -65,11 +66,17 @@ TEST(GeminiSystemTest, InitializeBuildsPlacementAndReservations) {
     // The checkpoint communication buffer is reserved on every GPU.
     EXPECT_EQ(system.cluster().machine(rank).gpu(0).used(), config.reserved_buffer_per_gpu);
   }
-  // Scheduling found a zero-overhead plan.
-  EXPECT_LT(system.iteration_execution().overhead_fraction, 0.005);
+  // Scheduling found a zero-overhead plan checkpointing every iteration.
+  EXPECT_LT(snapshot.checkpoint_overhead_fraction, 0.005);
+  EXPECT_TRUE(snapshot.checkpoint_fits_iteration);
+  EXPECT_EQ(snapshot.checkpoint_interval_iterations, 1);
   EXPECT_TRUE(system.iteration_execution().partition.fits_within_idle_time);
   // Profiling matched the paper's stability observation.
-  EXPECT_LT(system.profile().max_normalized_stddev, 0.10);
+  EXPECT_EQ(snapshot.profiled_iterations, config.profile_iterations);
+  EXPECT_LT(snapshot.profile_max_normalized_stddev, 0.10);
+  // Nothing has run yet.
+  EXPECT_EQ(snapshot.iterations_completed, 0);
+  EXPECT_EQ(snapshot.recoveries, 0);
   // The persistent tier holds the initial global checkpoint.
   EXPECT_EQ(system.persistent_store().LatestCompleteIteration(), 0);
 }
@@ -109,6 +116,25 @@ TEST(GeminiSystemTest, FailureFreeTrainingCheckpointsEveryIteration) {
       EXPECT_GE(system.cpu_store(holder).LatestIteration(owner), 9);
     }
   }
+
+  // The metrics registry saw the same run: 10 steps, 10 global commits, one
+  // store-level commit per (owner, holder) pair each iteration, no failures.
+  const MetricsRegistry& metrics = system.metrics();
+  EXPECT_EQ(metrics.counter_value("trainer.steps"), 10);
+  EXPECT_EQ(metrics.counter_value("system.cpu_checkpoint_commits"), 10);
+  EXPECT_EQ(metrics.counter_value("cpu_store.commits"), 10 * 8 * 2);
+  EXPECT_EQ(metrics.counter_value("system.failures_detected"), 0);
+  EXPECT_GT(metrics.counter_value("agent.keepalives"), 0);
+  EXPECT_GE(metrics.counter_value("kv.elections_won"), 1);
+
+  // And the tracer recorded one iteration span per iteration plus the
+  // commits, all on simulated time.
+  EXPECT_EQ(system.tracer().CountNamed("iteration"), 10);
+  EXPECT_EQ(system.tracer().CountNamed("checkpoint_commit"), 10);
+  const SystemSnapshot snapshot = system.Snapshot();
+  EXPECT_EQ(snapshot.iterations_completed, 10);
+  EXPECT_EQ(snapshot.cpu_checkpoints_committed, 10);
+  EXPECT_EQ(snapshot.recoveries, 0);
 }
 
 TEST(GeminiSystemTest, RootAgentElectedDuringTraining) {

@@ -497,7 +497,7 @@ TEST(TraceExportTest, ProducesWellFormedTraceEvents) {
   // Structural sanity (no JSON library in this repo; check the envelope and
   // event counts instead).
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
-  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("optimizer update"), std::string::npos);
   size_t events = 0;
   for (size_t pos = json.find("\"name\""); pos != std::string::npos;
