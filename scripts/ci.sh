@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verification plus a sanitizer pass.
+#
+#   scripts/ci.sh            # plain build + full ctest, then ASan+UBSan ctest
+#   scripts/ci.sh --fast     # plain build + full ctest only
+#
+# The sanitizer pass builds into a separate tree (build-asan/) with
+# -DGEMINI_SANITIZE=address,undefined so the instrumented binaries never mix
+# with the plain ones. TSan is available via -DGEMINI_SANITIZE=thread but is
+# not part of the default CI matrix (the simulator is single-threaded).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fast=0
+if [[ "${1:-}" == "--fast" ]]; then
+  fast=1
+fi
+
+echo "==> tier-1: configure + build"
+cmake -B build -S . >/dev/null
+cmake --build build -j
+
+echo "==> tier-1: ctest"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+if [[ "$fast" == "1" ]]; then
+  echo "==> done (fast mode: sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "==> sanitizer pass: configure + build (address,undefined)"
+cmake -B build-asan -S . -DGEMINI_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j
+
+echo "==> sanitizer pass: ctest"
+(cd build-asan && ctest --output-on-failure -j"$(nproc)")
+
+echo "==> done"

@@ -26,6 +26,94 @@ void FailureInjector::InjectAt(TimeNs when, FailureType type, std::vector<int> r
   sim_.ScheduleAt(when, [this, event = std::move(event)] { Apply(event); });
 }
 
+void FailureInjector::InjectBurstAt(TimeNs when, FailureType type, std::vector<int> ranks,
+                                    TimeNs spacing) {
+  if (spacing <= 0) {
+    InjectAt(when, type, std::move(ranks));
+    return;
+  }
+  TimeNs at = when;
+  for (const int rank : ranks) {
+    InjectAt(at, type, {rank});
+    at += spacing;
+  }
+}
+
+void FailureInjector::ArmOnTrigger(std::string trigger, FailureType type, std::vector<int> ranks,
+                                   TimeNs delay) {
+  ArmedEvent armed;
+  armed.type = type;
+  armed.ranks = std::move(ranks);
+  armed.delay = delay;
+  armed_[std::move(trigger)].push_back(std::move(armed));
+}
+
+void FailureInjector::InjectCorruptionAt(TimeNs when, int holder_rank, int owner_rank,
+                                         size_t bit_index) {
+  sim_.ScheduleAt(when, [this, holder_rank, owner_rank, bit_index] {
+    ApplyCorruption(holder_rank, owner_rank, bit_index);
+  });
+}
+
+void FailureInjector::ArmCorruptionOnTrigger(std::string trigger, int holder_rank, int owner_rank,
+                                             size_t bit_index, TimeNs delay) {
+  ArmedEvent armed;
+  armed.corruption = true;
+  armed.holder_rank = holder_rank;
+  armed.owner_rank = owner_rank;
+  armed.bit_index = bit_index;
+  armed.delay = delay;
+  armed_[std::move(trigger)].push_back(std::move(armed));
+}
+
+void FailureInjector::Fire(std::string_view trigger) {
+  auto it = armed_.find(std::string(trigger));
+  if (it == armed_.end() || it->second.empty()) {
+    return;
+  }
+  std::vector<ArmedEvent> events = std::move(it->second);
+  armed_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_->counter("injector.trigger_fires").Increment();
+  }
+  for (ArmedEvent& armed : events) {
+    if (armed.corruption) {
+      const int holder = armed.holder_rank;
+      const int owner = armed.owner_rank;
+      const size_t bit = armed.bit_index;
+      sim_.ScheduleAfter(armed.delay,
+                         [this, holder, owner, bit] { ApplyCorruption(holder, owner, bit); });
+      continue;
+    }
+    FailureEvent event;
+    event.type = armed.type;
+    event.ranks = std::move(armed.ranks);
+    sim_.ScheduleAfter(armed.delay, [this, event = std::move(event)]() mutable {
+      event.time = sim_.now();
+      Apply(event);
+    });
+  }
+}
+
+void FailureInjector::ApplyCorruption(int holder_rank, int owner_rank, size_t bit_index) {
+  if (!corruption_hook_) {
+    GEMINI_LOG(kWarning) << "failure injector: corruption requested but no hook installed";
+    return;
+  }
+  const Status status = corruption_hook_(holder_rank, owner_rank, bit_index);
+  if (!status.ok()) {
+    GEMINI_LOG(kWarning) << "failure injector: corruption of owner " << owner_rank
+                         << "'s replica on rank " << holder_rank << " failed: " << status;
+    return;
+  }
+  GEMINI_LOG(kInfo) << "failure injector: flipped bit " << bit_index << " of owner "
+                    << owner_rank << "'s replica on rank " << holder_rank << " at "
+                    << FormatDuration(sim_.now());
+  if (metrics_ != nullptr) {
+    metrics_->counter("injector.corruptions_injected").Increment();
+  }
+}
+
 void FailureInjector::Apply(const FailureEvent& event) {
   for (const int rank : event.ranks) {
     Machine& machine = cluster_.machine(rank);

@@ -5,14 +5,29 @@
 // experiments, and Poisson arrivals for the scalability study (OPT-175B
 // observed ~1.5% of instances failing per day; the majority are software
 // failures or single-machine hardware failures).
+//
+// For the recovery-hardening experiments three further shapes are supported:
+//  * trigger-armed events — "when the system reaches <trigger point>, wait
+//    `delay`, then fail ranks R". GeminiSystem fires the trigger points
+//    (kTriggerRecoveryStart, kTriggerRetrievalStart, kTriggerReprotectionStart)
+//    as it crosses them, which makes failure-during-recovery cascades exactly
+//    reproducible;
+//  * correlated bursts — several machines failing a fixed spacing apart
+//    (rack/switch-level incidents from the production traces);
+//  * checkpoint bit-flip corruption — flips one payload bit of a completed
+//    replica through a hook the system installs, driving the CRC-verified
+//    retrieval paths.
 #ifndef SRC_AGENT_FAILURE_INJECTOR_H_
 #define SRC_AGENT_FAILURE_INJECTOR_H_
 
 #include <functional>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/sim/simulator.h"
 
 namespace gemini {
@@ -27,6 +42,11 @@ enum class FailureType {
 };
 
 std::string_view FailureTypeName(FailureType type);
+
+// Trigger points fired by GeminiSystem as recovery progresses.
+inline constexpr char kTriggerRecoveryStart[] = "recovery_start";
+inline constexpr char kTriggerRetrievalStart[] = "retrieval_start";
+inline constexpr char kTriggerReprotectionStart[] = "reprotection_start";
 
 struct FailureEvent {
   TimeNs time = 0;
@@ -47,6 +67,31 @@ class FailureInjector {
   // Schedules one failure at an absolute time.
   void InjectAt(TimeNs when, FailureType type, std::vector<int> ranks);
 
+  // Correlated burst: ranks[i] fails at `when + i * spacing` (spacing 0
+  // collapses to one multi-rank event at `when`).
+  void InjectBurstAt(TimeNs when, FailureType type, std::vector<int> ranks, TimeNs spacing);
+
+  // Arms a failure that fires `delay` after the named trigger point is next
+  // crossed. Each armed event fires exactly once.
+  void ArmOnTrigger(std::string trigger, FailureType type, std::vector<int> ranks,
+                    TimeNs delay = 0);
+
+  // Schedules / arms a checkpoint bit flip on `holder_rank`'s completed
+  // replica of `owner_rank` (needs the corruption hook installed).
+  void InjectCorruptionAt(TimeNs when, int holder_rank, int owner_rank, size_t bit_index);
+  void ArmCorruptionOnTrigger(std::string trigger, int holder_rank, int owner_rank,
+                              size_t bit_index, TimeNs delay = 0);
+
+  // Crossed trigger points call this (GeminiSystem does); all events armed on
+  // `trigger` are released.
+  void Fire(std::string_view trigger);
+
+  // Installed by the system: performs the actual bit flip on the holder's
+  // store. Kept as a hook so the injector does not depend on storage.
+  void set_corruption_hook(std::function<Status(int holder, int owner, size_t bit)> hook) {
+    corruption_hook_ = std::move(hook);
+  }
+
   // Starts Poisson failure arrival: `rate_per_machine_day` failures per
   // machine per day, each software with probability `software_fraction`,
   // each hitting one uniformly random alive machine. Runs until `until`.
@@ -58,13 +103,27 @@ class FailureInjector {
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
+  struct ArmedEvent {
+    FailureType type = FailureType::kSoftware;
+    std::vector<int> ranks;
+    TimeNs delay = 0;
+    // Corruption events target one (holder, owner) replica instead.
+    bool corruption = false;
+    int holder_rank = -1;
+    int owner_rank = -1;
+    size_t bit_index = 0;
+  };
+
   void Apply(const FailureEvent& event);
+  void ApplyCorruption(int holder_rank, int owner_rank, size_t bit_index);
   void ScheduleNextRandom(double rate_per_machine_day, double software_fraction, TimeNs until);
 
   Simulator& sim_;
   Cluster& cluster_;
   Rng rng_;
   std::function<void(const FailureEvent&)> observer_;
+  std::function<Status(int holder, int owner, size_t bit)> corruption_hook_;
+  std::map<std::string, std::vector<ArmedEvent>> armed_;
   int64_t injected_ = 0;
   MetricsRegistry* metrics_ = nullptr;
 };

@@ -61,8 +61,18 @@ void WorkerAgent::PublishStatus(const std::string& status) {
   last_status_ = status;
   kv_.Put(health_key(), status, lease_, [this, status](Status put_status) {
     if (!put_status.ok()) {
-      GEMINI_LOG(kDebug) << "worker " << rank_ << ": health publish failed: " << put_status;
+      // A dropped publish must not go unnoticed: a process_down status that
+      // never lands means the root agent never starts recovery. Count it and
+      // retry on the next keepalive tick.
+      publish_retry_pending_ = true;
+      if (metrics_ != nullptr) {
+        metrics_->counter("agent.publish_failures").Increment();
+      }
+      GEMINI_LOG(kWarning) << "worker " << rank_ << ": health publish failed (" << put_status
+                           << "); will retry on next keepalive";
+      return;
     }
+    publish_retry_pending_ = false;
   });
 }
 
@@ -92,6 +102,13 @@ void WorkerAgent::OnKeepAliveTick() {
     if (!status.ok() && started_ && machine_ok()) {
       // Lease may have expired during a KV leader change; reacquire.
       lease_ = kNoLease;
+      return;
+    }
+    if (publish_retry_pending_ && started_ && machine_ok()) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("agent.publish_retries").Increment();
+      }
+      PublishStatus(last_status_);
     }
   });
 }

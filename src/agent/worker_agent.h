@@ -79,6 +79,9 @@ class WorkerAgent {
   bool started_ = false;
   LeaseId lease_ = kNoLease;
   std::string last_status_ = kStatusHealthy;
+  // Set when a health publish fails (KV leader change, quorum blip); the next
+  // keepalive tick republishes so the root never acts on a stale status.
+  bool publish_retry_pending_ = false;
   std::unique_ptr<RepeatingTimer> keepalive_timer_;
   std::unique_ptr<RepeatingTimer> root_watch_timer_;
   std::function<void()> on_promoted_;

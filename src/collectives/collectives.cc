@@ -217,10 +217,14 @@ void Communicator::Broadcast(int root_index, FloatVec data,
     done(std::move(data));
     return;
   }
-  // Chain: root -> root+1 -> ... -> root+n-1 (mod n).
+  // Chain: root -> root+1 -> ... -> root+n-1 (mod n). The recursive step
+  // captures itself weakly (each in-flight transfer callback holds the only
+  // strong reference) so the function object is reclaimed once the chain
+  // finishes instead of keeping itself alive through a shared_ptr cycle.
   auto payload = std::make_shared<FloatVec>(std::move(data));
   auto forward = std::make_shared<std::function<void(int)>>();
-  *forward = [this, n, root_index, payload, forward, done](int hop) {
+  const std::weak_ptr<std::function<void(int)>> weak_forward = forward;
+  *forward = [this, n, root_index, payload, weak_forward, done](int hop) {
     if (hop == n - 1) {
       done(std::move(*payload));
       return;
@@ -229,14 +233,15 @@ void Communicator::Broadcast(int root_index, FloatVec data,
     const int dst = (root_index + hop + 1) % n;
     Fabric::TransferOptions options;
     options.bandwidth_efficiency = efficiency_;
+    const auto self = weak_forward.lock();
     fabric_.Transfer(ranks_[static_cast<size_t>(src)], ranks_[static_cast<size_t>(dst)],
                      FloatBytes(payload->size()), options,
-                     [forward, hop, done](Status status) {
+                     [self, hop, done](Status status) {
                        if (!status.ok()) {
                          done(std::move(status));
                          return;
                        }
-                       (*forward)(hop + 1);
+                       (*self)(hop + 1);
                      });
   };
   (*forward)(0);

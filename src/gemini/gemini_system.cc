@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <utility>
 
 #include "src/common/logging.h"
+#include "src/gemini/replicator.h"
 
 namespace gemini {
 
@@ -118,6 +121,11 @@ Status GeminiSystem::Initialize() {
         workers_[static_cast<size_t>(rank)]->ReportProcessDown();
       }
     }
+  });
+  // Chaos hook: bit-flip corruption lands directly in a holder's CPU store,
+  // where the CRC verification on the recovery read path must catch it.
+  injector_->set_corruption_hook([this](int holder_rank, int owner_rank, size_t bit_index) {
+    return cpu_stores_[static_cast<size_t>(holder_rank)]->CorruptLatest(owner_rank, bit_index);
   });
 
   // ---- Profile the timeline and plan checkpoint traffic (Sections 5.3/5.4).
@@ -317,13 +325,24 @@ TimeNs GeminiSystem::RecoverySerializationTime() const {
 }
 
 void GeminiSystem::OnFailureDetected(const FailureReport& report) {
-  if (!running_ || recovering_) {
+  if (!running_) {
+    return;
+  }
+  if (recovering_) {
+    // Cascading failure: merge it into the active case instead of dropping
+    // it (the pre-hardening behavior silently ignored these).
+    AbsorbFailureDuringRecovery(report);
     return;
   }
   recovering_ = true;
-  if (root_agent_ != nullptr) {
-    root_agent_->SetPaused(true);
-  }
+  active_case_.emplace();
+  ActiveRecoveryCase& recovery_case = *active_case_;
+  recovery_case.type = report.type;
+  recovery_case.reports.push_back(report);
+  recovery_case.ranks.insert(report.ranks.begin(), report.ranks.end());
+  recovery_case.first_detected_at = report.detected_at;
+  recovery_case.serialize_done_at = sim_.now() + RecoverySerializationTime();
+  recovery_case.iteration_at_failure = trainer_->iteration();
   metrics_.counter("system.failures_detected").Increment();
   tracer_.Event("failure_detected", "recovery",
                 {TraceAttr::Text("type", std::string(FailureTypeName(report.type))),
@@ -331,217 +350,354 @@ void GeminiSystem::OnFailureDetected(const FailureReport& report) {
                  TraceAttr::Int("iteration", trainer_->iteration())});
   GEMINI_LOG(kInfo) << "recovery: handling " << FailureTypeName(report.type) << " failure of "
                     << report.ranks.size() << " machine(s)";
-  if (report.type == FailureType::kSoftware) {
-    RecoverFromSoftwareFailure(report);
-  } else {
-    RecoverFromHardwareFailure(report);
-  }
+  // The root agent keeps scanning during recovery (its handled-set suppresses
+  // re-reports of the ranks already in the case) so overlapping failures are
+  // detected and absorbed rather than invisible.
+  injector_->Fire(kTriggerRecoveryStart);
+  StartRecoveryAttempt();
 }
 
-void GeminiSystem::RecoverFromSoftwareFailure(const FailureReport& report) {
-  RecoveryRecord record;
-  record.type = FailureType::kSoftware;
-  record.failed_ranks = report.ranks;
-  record.failure_detected_at = report.detected_at;
-  record.iteration_at_failure = trainer_->iteration();
-  record.source = RecoverySource::kLocalCpuMemory;
-
-  // Restart the crashed processes: serialize the in-memory checkpoints so
-  // torch.load can read them, then warm up. Everyone restores from the local
-  // replica (Figure 6b) — zero retrieval traffic.
-  const TimeNs delay = RecoverySerializationTime() + config_.restart_warmup;
-  sim_.ScheduleAfter(delay, [this, record]() mutable {
-    std::vector<Checkpoint> checkpoints;
-    for (int rank = 0; rank < config_.num_machines; ++rank) {
-      const std::optional<Checkpoint> local =
-          cpu_stores_[static_cast<size_t>(rank)]->Latest(rank);
-      if (!local.has_value()) {
-        // Failure before the first commit: fall back to the persistent tier.
-        RetrieveFromPersistentAndResume(record, {});
-        return;
-      }
-      // The restarting process loads through the serialized form (the
-      // torch.save/torch.load path), so the CRC integrity check guards the
-      // bytes actually restored.
-      const StatusOr<Checkpoint> loaded =
-          DeserializeCheckpoint(SerializeCheckpoint(*local));
-      if (!loaded.ok()) {
-        GEMINI_LOG(kError) << "local checkpoint failed integrity check: " << loaded.status();
-        RetrieveFromPersistentAndResume(record, {});
-        return;
-      }
-      checkpoints.push_back(*loaded);
+void GeminiSystem::AbsorbFailureDuringRecovery(const FailureReport& report) {
+  ActiveRecoveryCase& recovery_case = *active_case_;
+  bool new_ranks = false;
+  for (const int rank : report.ranks) {
+    if (!recovery_case.ranks.contains(rank)) {
+      new_ranks = true;
+      break;
     }
-    const Status status = trainer_->RestoreAll(checkpoints);
-    if (!status.ok()) {
-      GEMINI_LOG(kError) << "software recovery failed to restore: " << status;
+  }
+  const bool escalates = report.type == FailureType::kHardware &&
+                         recovery_case.type == FailureType::kSoftware;
+  if (!new_ranks && !escalates) {
+    // Same ranks, no escalation: a freshly promoted root re-reporting a
+    // failure the case already covers.
+    metrics_.counter("system.failure_reports.deduplicated").Increment();
+    return;
+  }
+  recovery_case.reports.push_back(report);
+  recovery_case.ranks.insert(report.ranks.begin(), report.ranks.end());
+  if (report.type == FailureType::kHardware) {
+    recovery_case.type = FailureType::kHardware;
+    // Survivors re-serialize their replicas against the updated alive set.
+    recovery_case.serialize_done_at =
+        std::max(recovery_case.serialize_done_at, sim_.now() + RecoverySerializationTime());
+  }
+  metrics_.counter("system.recoveries.preempted").Increment();
+  tracer_.Event("recovery_preempted", "recovery",
+                {TraceAttr::Text("type", std::string(FailureTypeName(report.type))),
+                 TraceAttr::Int("num_ranks", static_cast<int64_t>(report.ranks.size()))});
+  GEMINI_LOG(kInfo) << "recovery: absorbed overlapping " << FailureTypeName(report.type)
+                    << " failure of " << report.ranks.size()
+                    << " machine(s); restarting the case analysis";
+  StartRecoveryAttempt();
+}
+
+void GeminiSystem::StartRecoveryAttempt() {
+  ++recovery_epoch_;  // Invalidate every callback of the previous attempt.
+  ActiveRecoveryCase& recovery_case = *active_case_;
+  if (recovery_case.type == FailureType::kSoftware) {
+    // Restart the crashed processes: serialize the in-memory checkpoints so
+    // torch.load can read them, then warm up. Everyone restores from the
+    // local replica (Figure 6b) — zero retrieval traffic.
+    const uint64_t epoch = recovery_epoch_;
+    const TimeNs serialize_wait =
+        std::max<TimeNs>(0, recovery_case.serialize_done_at - sim_.now());
+    sim_.ScheduleAfter(serialize_wait + config_.restart_warmup, [this, epoch] {
+      if (epoch != recovery_epoch_ || !recovering_) {
+        return;
+      }
+      CompleteSoftwareRecovery();
+    });
+    return;
+  }
+  // Hardware: replace every rank that is currently dead and not already being
+  // replaced; alive machines serialize their replicas meanwhile (the two
+  // overlap, Figure 14). Ranks already replaced in an earlier attempt of this
+  // case carry over.
+  for (const int rank : recovery_case.ranks) {
+    if (cluster_->machine(rank).alive() || recovery_case.replacing.contains(rank)) {
+      continue;
+    }
+    recovery_case.replacing.insert(rank);
+    ++recovery_case.pending_replacements;
+    cloud_->ReplaceMachine(
+        rank, [this, rank](Machine& machine) { OnMachineReplaced(rank, machine); });
+  }
+  MaybeAnalyzeHardwareCase();
+}
+
+void GeminiSystem::CompleteSoftwareRecovery() {
+  RecoveryRecord record = MakeCaseRecord();
+  record.source = RecoverySource::kLocalCpuMemory;
+  std::vector<Checkpoint> checkpoints;
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    const std::optional<Checkpoint> local =
+        cpu_stores_[static_cast<size_t>(rank)]->LatestVerified(rank);
+    if (!local.has_value()) {
+      // Failure before the first commit (or a corrupted local replica): fall
+      // back to the persistent tier.
       RetrieveFromPersistentAndResume(record, {});
       return;
     }
-    record.rollback_iteration = trainer_->iteration();
-    for (const int rank : record.failed_ranks) {
-      cluster_->machine(rank).set_health(MachineHealth::kHealthy);
-      workers_[static_cast<size_t>(rank)]->ReportHealthy();
+    // The restarting process loads through the serialized form (the
+    // torch.save/torch.load path), so the CRC integrity check guards the
+    // bytes actually restored.
+    const StatusOr<Checkpoint> loaded = DeserializeCheckpoint(SerializeCheckpoint(*local));
+    if (!loaded.ok()) {
+      GEMINI_LOG(kError) << "local checkpoint failed integrity check: " << loaded.status();
+      RetrieveFromPersistentAndResume(record, {});
+      return;
+    }
+    checkpoints.push_back(*loaded);
+  }
+  const Status status = trainer_->RestoreAll(checkpoints);
+  if (!status.ok()) {
+    GEMINI_LOG(kError) << "software recovery failed to restore: " << status;
+    RetrieveFromPersistentAndResume(record, {});
+    return;
+  }
+  record.rollback_iteration = trainer_->iteration();
+  ResumeTraining(record);
+}
+
+void GeminiSystem::OnMachineReplaced(int rank, Machine& machine) {
+  // Fresh DRAM: rebuild the store's hosting reservations for this rank.
+  CpuCheckpointStore& store = *cpu_stores_[static_cast<size_t>(rank)];
+  store.ResetForMachine(machine);
+  const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  for (int owner = 0; owner < config_.num_machines; ++owner) {
+    const auto& holders = placement_.replica_sets[static_cast<size_t>(owner)];
+    if (std::find(holders.begin(), holders.end(), rank) != holders.end()) {
+      (void)store.HostOwner(owner, replica_bytes);
+    }
+  }
+  (void)machine.AllocateOnAllGpus(config_.reserved_buffer_per_gpu);
+  // Restart the co-located KV member and agents.
+  for (int i = 0; i < kvstore_->num_nodes(); ++i) {
+    if (kvstore_->server_ranks()[static_cast<size_t>(i)] == rank) {
+      kvstore_->node(i).ResetAndRestart();
+    }
+  }
+  RestartAgentsForRank(rank);
+  if (!active_case_.has_value()) {
+    return;  // The case resolved without this machine (bookkeeping only).
+  }
+  active_case_->replaced.push_back(rank);
+  --active_case_->pending_replacements;
+  MaybeAnalyzeHardwareCase();
+}
+
+void GeminiSystem::MaybeAnalyzeHardwareCase() {
+  if (!active_case_.has_value() || active_case_->type != FailureType::kHardware ||
+      active_case_->pending_replacements > 0) {
+    return;
+  }
+  // All machines replaced. Serialization may still be running.
+  const uint64_t epoch = recovery_epoch_;
+  const TimeNs wait = std::max<TimeNs>(0, active_case_->serialize_done_at - sim_.now());
+  sim_.ScheduleAfter(wait, [this, epoch] {
+    if (epoch != recovery_epoch_ || !recovering_ || !active_case_.has_value()) {
+      return;
+    }
+    // Case analysis: can every rank's checkpoint be served from CPU memory
+    // of machines that survived?
+    RecoveryRecord record = MakeCaseRecord();
+    const std::vector<int> replaced = active_case_->replaced;
+    std::vector<bool> failed(static_cast<size_t>(config_.num_machines), false);
+    for (const int rank : replaced) {
+      failed[static_cast<size_t>(rank)] = true;
+    }
+    if (placement_.Recoverable(failed)) {
+      RetrieveFromPeersAndResume(record, replaced);
+    } else {
+      GEMINI_LOG(kWarning) << "recovery: an entire placement group was lost; falling back to "
+                              "persistent storage";
+      RetrieveFromPersistentAndResume(record, replaced);
+    }
+  });
+}
+
+RecoveryRecord GeminiSystem::MakeCaseRecord() const {
+  const ActiveRecoveryCase& recovery_case = *active_case_;
+  RecoveryRecord record;
+  record.type = recovery_case.type;
+  record.failed_ranks.assign(recovery_case.ranks.begin(), recovery_case.ranks.end());
+  record.failure_detected_at = recovery_case.first_detected_at;
+  record.iteration_at_failure = recovery_case.iteration_at_failure;
+  return record;
+}
+
+TimeNs GeminiSystem::RetryBackoff(int attempt) const {
+  if (attempt <= 0) {
+    return 0;
+  }
+  TimeNs backoff = config_.retrieval_backoff_base;
+  for (int i = 1; i < attempt && backoff < config_.retrieval_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, config_.retrieval_backoff_cap);
+}
+
+// Shared state of one peer-retrieval pass (one fetch task per replaced rank).
+struct GeminiSystem::PeerRetrievalContext {
+  RecoveryRecord record;
+  std::vector<int> replaced_ranks;
+  TimeNs started = 0;
+  std::vector<Checkpoint> fetched;
+  int pending = 0;
+  // Set when the pass fell back to persistent storage; late transfer
+  // completions become no-ops.
+  bool aborted = false;
+};
+
+void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record,
+                                              std::vector<int> replaced_ranks) {
+  const uint64_t epoch = recovery_epoch_;
+  record.source = RecoverySource::kRemoteCpuMemory;
+  auto ctx = std::make_shared<PeerRetrievalContext>();
+  ctx->record = std::move(record);
+  ctx->replaced_ranks = std::move(replaced_ranks);
+  ctx->started = sim_.now();
+  ctx->pending = static_cast<int>(ctx->replaced_ranks.size());
+  injector_->Fire(kTriggerRetrievalStart);
+  if (ctx->replaced_ranks.empty()) {
+    FinishPeerRetrieval(ctx, epoch);
+    return;
+  }
+  for (const int rank : ctx->replaced_ranks) {
+    // Go through the scheduler so trigger-armed events with zero delay (from
+    // the Fire above) land before the first read.
+    sim_.ScheduleAfter(0, [this, ctx, rank, epoch] { TryFetchReplica(ctx, rank, 0, epoch); });
+  }
+}
+
+void GeminiSystem::TryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank,
+                                   int attempt, uint64_t epoch) {
+  if (epoch != recovery_epoch_ || ctx->aborted) {
+    return;
+  }
+  if (attempt >= config_.retrieval_max_attempts) {
+    GEMINI_LOG(kWarning) << "recovery: rank " << rank << " exhausted " << attempt
+                         << " retrieval attempts; falling back to persistent storage";
+    ctx->aborted = true;
+    RetrieveFromPersistentAndResume(ctx->record, ctx->replaced_ranks);
+    return;
+  }
+  // Re-derive the holder set every attempt: the alive set may have changed
+  // since the case analysis. Replaced ranks count as holding nothing (their
+  // fresh DRAM is only filled when this pass finishes).
+  std::vector<bool> holder_alive(static_cast<size_t>(config_.num_machines), false);
+  for (int r = 0; r < config_.num_machines; ++r) {
+    holder_alive[static_cast<size_t>(r)] = cluster_->machine(r).alive();
+  }
+  for (const int r : ctx->replaced_ranks) {
+    holder_alive[static_cast<size_t>(r)] = false;
+  }
+  const std::vector<int> holders = placement_.AliveRemoteHolders(rank, holder_alive);
+  if (holders.empty()) {
+    ctx->aborted = true;
+    RetrieveFromPersistentAndResume(ctx->record, ctx->replaced_ranks);
+    return;
+  }
+  // Cycle through the holders: m-1 distinct sources first, then another
+  // round for transient (flaky-link) errors.
+  const int holder = holders[static_cast<size_t>(attempt) % holders.size()];
+  std::optional<Checkpoint> replica =
+      cpu_stores_[static_cast<size_t>(holder)]->LatestVerified(rank);
+  if (!replica.has_value()) {
+    RetryFetchReplica(ctx, rank, attempt, epoch,
+                      DataLossError("holder " + std::to_string(holder) +
+                                    " has no CRC-verified replica"));
+    return;
+  }
+  Fabric::TransferOptions options;  // Full line rate for retrieval.
+  cluster_->fabric().Transfer(
+      holder, rank, replica->logical_bytes, options,
+      [this, ctx, rank, attempt, epoch, replica = std::move(*replica)](Status status) mutable {
+        if (epoch != recovery_epoch_ || ctx->aborted) {
+          return;
+        }
+        if (!status.ok()) {
+          RetryFetchReplica(ctx, rank, attempt, epoch, status);
+          return;
+        }
+        if (!replica.IntegrityOk()) {
+          RetryFetchReplica(ctx, rank, attempt, epoch,
+                            DataLossError("fetched replica failed its CRC check"));
+          return;
+        }
+        ctx->fetched.push_back(std::move(replica));
+        if (--ctx->pending == 0) {
+          FinishPeerRetrieval(ctx, epoch);
+        }
+      });
+}
+
+void GeminiSystem::RetryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank,
+                                     int attempt, uint64_t epoch, const Status& why) {
+  metrics_.counter("replicator.retries").Increment();
+  tracer_.Event("retrieval_retry", "recovery",
+                {TraceAttr::Int("rank", rank), TraceAttr::Int("attempt", attempt + 1)});
+  GEMINI_LOG(kWarning) << "recovery: retrieval attempt " << attempt + 1 << " for rank " << rank
+                       << " failed (" << why << "); retrying";
+  sim_.ScheduleAfter(RetryBackoff(attempt + 1), [this, ctx, rank, attempt, epoch] {
+    TryFetchReplica(ctx, rank, attempt + 1, epoch);
+  });
+}
+
+void GeminiSystem::FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx,
+                                       uint64_t epoch) {
+  if (epoch != recovery_epoch_ || ctx->aborted) {
+    return;
+  }
+  RecoveryRecord record = ctx->record;
+  // Install fetched replicas, then restore everyone: survivors from local
+  // CPU memory, replacements from the fetched copies (Figure 6c).
+  std::vector<Checkpoint> checkpoints;
+  std::vector<bool> have(static_cast<size_t>(config_.num_machines), false);
+  for (Checkpoint& checkpoint : ctx->fetched) {
+    (void)cpu_stores_[static_cast<size_t>(checkpoint.owner_rank)]->WriteComplete(checkpoint);
+    have[static_cast<size_t>(checkpoint.owner_rank)] = true;
+    checkpoints.push_back(std::move(checkpoint));
+  }
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    if (have[static_cast<size_t>(rank)]) {
+      continue;
+    }
+    const std::optional<Checkpoint> local =
+        cpu_stores_[static_cast<size_t>(rank)]->LatestVerified(rank);
+    if (!local.has_value()) {
+      ctx->aborted = true;
+      RetrieveFromPersistentAndResume(record, ctx->replaced_ranks);
+      return;
+    }
+    checkpoints.push_back(*local);
+  }
+  const Status status = trainer_->RestoreAll(checkpoints);
+  if (!status.ok()) {
+    GEMINI_LOG(kError) << "peer recovery failed to restore: " << status;
+    ctx->aborted = true;
+    RetrieveFromPersistentAndResume(record, ctx->replaced_ranks);
+    return;
+  }
+  record.rollback_iteration = trainer_->iteration();
+  record.wasted_time =
+      (record.iteration_at_failure - record.rollback_iteration) * execution_.iteration_time +
+      (sim_.now() - ctx->started);
+  tracer_.Span("retrieval", "recovery", ctx->started, sim_.now(),
+               {TraceAttr::Text("source", std::string(RecoverySourceName(record.source)))});
+  sim_.ScheduleAfter(config_.restart_warmup, [this, record, epoch]() mutable {
+    if (epoch != recovery_epoch_ || !recovering_) {
+      return;
     }
     ResumeTraining(record);
   });
 }
 
-void GeminiSystem::RecoverFromHardwareFailure(const FailureReport& report) {
-  RecoveryRecord record;
-  record.type = FailureType::kHardware;
-  record.failed_ranks = report.ranks;
-  record.failure_detected_at = report.detected_at;
-  record.iteration_at_failure = trainer_->iteration();
-
-  // Replace every dead machine; meanwhile alive machines serialize their
-  // replicas (the two overlap, Figure 14).
-  auto pending = std::make_shared<int>(static_cast<int>(report.ranks.size()));
-  auto replaced = std::make_shared<std::vector<int>>();
-  const TimeNs serialize_done_at = sim_.now() + RecoverySerializationTime();
-  for (const int rank : report.ranks) {
-    cloud_->ReplaceMachine(rank, [this, rank, pending, replaced, record,
-                                  serialize_done_at](Machine& machine) mutable {
-      // Fresh DRAM: rebuild the store's hosting reservations for this rank.
-      CpuCheckpointStore& store = *cpu_stores_[static_cast<size_t>(rank)];
-      store.ResetForMachine(machine);
-      const Bytes replica_bytes =
-          config_.model.CheckpointBytesPerMachine(config_.num_machines);
-      for (int owner = 0; owner < config_.num_machines; ++owner) {
-        const auto& holders = placement_.replica_sets[static_cast<size_t>(owner)];
-        if (std::find(holders.begin(), holders.end(), rank) != holders.end()) {
-          (void)store.HostOwner(owner, replica_bytes);
-        }
-      }
-      (void)machine.AllocateOnAllGpus(config_.reserved_buffer_per_gpu);
-      // Restart the co-located KV member and agents.
-      for (int i = 0; i < kvstore_->num_nodes(); ++i) {
-        if (kvstore_->server_ranks()[static_cast<size_t>(i)] == rank) {
-          kvstore_->node(i).ResetAndRestart();
-        }
-      }
-      RestartAgentsForRank(rank);
-      replaced->push_back(rank);
-      if (--*pending > 0) {
-        return;
-      }
-      // All machines replaced. Serialization may still be running.
-      const TimeNs wait = std::max<TimeNs>(0, serialize_done_at - sim_.now());
-      sim_.ScheduleAfter(wait, [this, record, replaced]() mutable {
-        // Case analysis: can every rank's checkpoint be served from CPU
-        // memory of machines that survived?
-        std::vector<bool> failed(static_cast<size_t>(config_.num_machines), false);
-        for (const int rank : *replaced) {
-          failed[static_cast<size_t>(rank)] = true;
-        }
-        if (placement_.Recoverable(failed)) {
-          RetrieveFromPeersAndResume(record, *replaced);
-        } else {
-          GEMINI_LOG(kWarning)
-              << "recovery: an entire placement group was lost; falling back to "
-                 "persistent storage";
-          RetrieveFromPersistentAndResume(record, *replaced);
-        }
-      });
-    });
-  }
-}
-
-void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record,
-                                              std::vector<int> replaced_ranks) {
-  record.source = RecoverySource::kRemoteCpuMemory;
-  const TimeNs retrieval_started = sim_.now();
-
-  std::vector<bool> alive(static_cast<size_t>(config_.num_machines), true);
-  for (const int rank : replaced_ranks) {
-    alive[static_cast<size_t>(rank)] = false;  // New DRAM holds no checkpoints yet.
-  }
-
-  auto fetched = std::make_shared<std::vector<Checkpoint>>();
-  auto pending = std::make_shared<int>(static_cast<int>(replaced_ranks.size()));
-  auto failed = std::make_shared<bool>(false);
-
-  auto finish = [this, record, retrieval_started, fetched]() mutable {
-    // Install fetched replicas, then restore everyone: survivors from local
-    // CPU memory, replacements from the fetched copies (Figure 6c).
-    std::vector<Checkpoint> checkpoints;
-    std::vector<bool> have(static_cast<size_t>(config_.num_machines), false);
-    for (Checkpoint& checkpoint : *fetched) {
-      (void)cpu_stores_[static_cast<size_t>(checkpoint.owner_rank)]->WriteComplete(checkpoint);
-      have[static_cast<size_t>(checkpoint.owner_rank)] = true;
-      checkpoints.push_back(std::move(checkpoint));
-    }
-    for (int rank = 0; rank < config_.num_machines; ++rank) {
-      if (have[static_cast<size_t>(rank)]) {
-        continue;
-      }
-      const std::optional<Checkpoint> local =
-          cpu_stores_[static_cast<size_t>(rank)]->Latest(rank);
-      if (!local.has_value()) {
-        RetrieveFromPersistentAndResume(record, {});
-        return;
-      }
-      checkpoints.push_back(*local);
-    }
-    const Status status = trainer_->RestoreAll(checkpoints);
-    if (!status.ok()) {
-      GEMINI_LOG(kError) << "peer recovery failed to restore: " << status;
-      RetrieveFromPersistentAndResume(record, {});
-      return;
-    }
-    record.rollback_iteration = trainer_->iteration();
-    record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
-                             execution_.iteration_time +
-                         (sim_.now() - retrieval_started);
-    tracer_.Span("retrieval", "recovery", retrieval_started, sim_.now(),
-                 {TraceAttr::Text("source", std::string(RecoverySourceName(record.source)))});
-    sim_.ScheduleAfter(config_.restart_warmup,
-                       [this, record]() mutable { ResumeTraining(record); });
-  };
-
-  if (replaced_ranks.empty()) {
-    finish();
-    return;
-  }
-  for (const int rank : replaced_ranks) {
-    const std::vector<int> holders = placement_.AliveRemoteHolders(rank, alive);
-    if (holders.empty()) {
-      RetrieveFromPersistentAndResume(record, replaced_ranks);
-      return;
-    }
-    const int holder = holders.front();
-    const std::optional<Checkpoint> replica =
-        cpu_stores_[static_cast<size_t>(holder)]->Latest(rank);
-    if (!replica.has_value()) {
-      RetrieveFromPersistentAndResume(record, replaced_ranks);
-      return;
-    }
-    Fabric::TransferOptions options;  // Full line rate for retrieval.
-    cluster_->fabric().Transfer(
-        holder, rank, replica->logical_bytes, options,
-        [this, record, replica = *replica, fetched, pending, failed, replaced_ranks,
-         finish](Status status) mutable {
-          if (*failed) {
-            return;
-          }
-          if (!status.ok()) {
-            *failed = true;
-            GEMINI_LOG(kWarning) << "recovery: peer retrieval failed (" << status
-                                 << "); falling back to persistent storage";
-            RetrieveFromPersistentAndResume(record, replaced_ranks);
-            return;
-          }
-          fetched->push_back(std::move(replica));
-          if (--*pending == 0) {
-            finish();
-          }
-        });
-  }
-}
-
 void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
                                                    std::vector<int> replaced_ranks) {
   (void)replaced_ranks;
+  const uint64_t epoch = recovery_epoch_;
   record.source = RecoverySource::kPersistentStorage;
   const TimeNs retrieval_started = sim_.now();
   const int64_t iteration = persistent_->LatestCompleteIteration();
@@ -555,8 +711,11 @@ void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     persistent_->Retrieve(
         rank, iteration,
-        [this, record, retrieval_started, checkpoints,
-         pending](StatusOr<Checkpoint> result) mutable {
+        [this, record, retrieval_started, checkpoints, pending,
+         epoch](StatusOr<Checkpoint> result) mutable {
+          if (epoch != recovery_epoch_ || !recovering_) {
+            return;  // A mid-retrieval failure restarted the case analysis.
+          }
           if (!result.ok()) {
             GEMINI_LOG(kError) << "persistent retrieval failed: " << result.status();
             FinishRun();
@@ -587,8 +746,12 @@ void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
                                (sim_.now() - retrieval_started);
           tracer_.Span("retrieval", "recovery", retrieval_started, sim_.now(),
                        {TraceAttr::Text("source", std::string(RecoverySourceName(record.source)))});
-          sim_.ScheduleAfter(config_.restart_warmup,
-                             [this, record]() mutable { ResumeTraining(record); });
+          sim_.ScheduleAfter(config_.restart_warmup, [this, record, epoch]() mutable {
+            if (epoch != recovery_epoch_ || !recovering_) {
+              return;
+            }
+            ResumeTraining(record);
+          });
         });
   }
 }
@@ -600,43 +763,140 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
     record.wasted_time = (record.iteration_at_failure - record.rollback_iteration) *
                          execution_.iteration_time;
   }
-  GEMINI_LOG(kInfo) << "recovery: resumed training at iteration " << record.rollback_iteration
-                    << " from " << RecoverySourceName(record.source) << " (downtime "
-                    << FormatDuration(record.downtime) << ", wasted "
-                    << FormatDuration(record.wasted_time) << ")";
-  metrics_.counter("system.recoveries").Increment();
-  switch (record.source) {
-    case RecoverySource::kLocalCpuMemory:
-      metrics_.counter("system.recoveries.local_cpu").Increment();
-      break;
-    case RecoverySource::kRemoteCpuMemory:
-      metrics_.counter("system.recoveries.remote_cpu").Increment();
-      break;
-    case RecoverySource::kPersistentStorage:
-      metrics_.counter("system.recoveries.persistent").Increment();
-      break;
+  // Expand the merged case into one RecoveryRecord per absorbed FailureReport:
+  // a cascade of k overlapping failures yields k records (none dropped), each
+  // with its own type/ranks/detection time but the shared resolution.
+  std::vector<RecoveryRecord> records;
+  if (active_case_.has_value() && !active_case_->reports.empty()) {
+    for (const FailureReport& report : active_case_->reports) {
+      RecoveryRecord per = record;
+      per.type = report.type;
+      per.failed_ranks = report.ranks;
+      per.failure_detected_at = report.detected_at;
+      per.downtime = per.training_resumed_at - report.detected_at;
+      records.push_back(std::move(per));
+    }
+  } else {
+    records.push_back(record);
   }
-  metrics_.histogram("system.recovery.downtime_seconds")
-      .Observe(static_cast<double>(record.downtime) / 1e9);
-  metrics_.histogram("system.recovery.wasted_seconds")
-      .Observe(static_cast<double>(record.wasted_time) / 1e9);
-  // The recovery span covers detection -> resume by construction, so its
-  // duration equals record.downtime; the attrs carry the rest of the record.
-  tracer_.Span("recovery", "recovery", record.failure_detected_at, record.training_resumed_at,
-               {TraceAttr::Text("type", std::string(FailureTypeName(record.type))),
-                TraceAttr::Text("source", std::string(RecoverySourceName(record.source))),
-                TraceAttr::Int("rollback_iteration", record.rollback_iteration),
-                TraceAttr::Int("wasted_time_ns", record.wasted_time),
-                TraceAttr::Int("downtime_ns", record.downtime)});
+  // Clear the process-down marks: every surviving machine in the case is
+  // running its restarted process again (moved here from the software path so
+  // software->persistent fallbacks also reset health).
+  std::vector<int> case_ranks = record.failed_ranks;
+  if (active_case_.has_value()) {
+    case_ranks.assign(active_case_->ranks.begin(), active_case_->ranks.end());
+  }
+  for (const int rank : case_ranks) {
+    Machine& machine = cluster_->machine(rank);
+    if (machine.alive() && !machine.process_running()) {
+      machine.set_health(MachineHealth::kHealthy);
+      workers_[static_cast<size_t>(rank)]->ReportHealthy();
+    }
+  }
+  const std::vector<int> replaced =
+      active_case_.has_value() ? active_case_->replaced : std::vector<int>{};
+  const TimeNs degraded_since =
+      active_case_.has_value() ? active_case_->first_detected_at : record.failure_detected_at;
+  for (const RecoveryRecord& emitted : records) {
+    GEMINI_LOG(kInfo) << "recovery: resumed training at iteration "
+                      << emitted.rollback_iteration << " from "
+                      << RecoverySourceName(emitted.source) << " (downtime "
+                      << FormatDuration(emitted.downtime) << ", wasted "
+                      << FormatDuration(emitted.wasted_time) << ")";
+    metrics_.counter("system.recoveries").Increment();
+    switch (emitted.source) {
+      case RecoverySource::kLocalCpuMemory:
+        metrics_.counter("system.recoveries.local_cpu").Increment();
+        break;
+      case RecoverySource::kRemoteCpuMemory:
+        metrics_.counter("system.recoveries.remote_cpu").Increment();
+        break;
+      case RecoverySource::kPersistentStorage:
+        metrics_.counter("system.recoveries.persistent").Increment();
+        break;
+    }
+    metrics_.histogram("system.recovery.downtime_seconds")
+        .Observe(static_cast<double>(emitted.downtime) / 1e9);
+    metrics_.histogram("system.recovery.wasted_seconds")
+        .Observe(static_cast<double>(emitted.wasted_time) / 1e9);
+    // The recovery span covers detection -> resume by construction, so its
+    // duration equals the record's downtime; the attrs carry the rest.
+    tracer_.Span("recovery", "recovery", emitted.failure_detected_at,
+                 emitted.training_resumed_at,
+                 {TraceAttr::Text("type", std::string(FailureTypeName(emitted.type))),
+                  TraceAttr::Text("source", std::string(RecoverySourceName(emitted.source))),
+                  TraceAttr::Int("rollback_iteration", emitted.rollback_iteration),
+                  TraceAttr::Int("wasted_time_ns", emitted.wasted_time),
+                  TraceAttr::Int("downtime_ns", emitted.downtime)});
+    report_.recoveries.push_back(emitted);
+  }
   tracer_.Event("training_resumed", "recovery",
                 {TraceAttr::Int("iteration", record.rollback_iteration)});
-  report_.recoveries.push_back(record);
   recovering_ = false;
+  active_case_.reset();
   if (root_agent_ != nullptr) {
-    root_agent_->ClearHandled(record.failed_ranks);
+    root_agent_->ClearHandled(case_ranks);
     root_agent_->SetPaused(false);
   }
+  if (!replaced.empty()) {
+    QueueReprotection(replaced, degraded_since);
+  }
+  MaybeStartReprotection();
   StartNextIteration();
+}
+
+void GeminiSystem::QueueReprotection(const std::vector<int>& targets, TimeNs degraded_since) {
+  degraded_since_ =
+      reprotect_targets_.empty() ? degraded_since : std::min(degraded_since_, degraded_since);
+  reprotect_targets_.insert(targets.begin(), targets.end());
+}
+
+void GeminiSystem::MaybeStartReprotection() {
+  if (reprotection_inflight_ || reprotect_targets_.empty() || !running_ || recovering_) {
+    return;
+  }
+  reprotection_inflight_ = true;
+  const std::vector<int> targets(reprotect_targets_.begin(), reprotect_targets_.end());
+  const TimeNs started = sim_.now();
+  const TimeNs since = degraded_since_;
+  injector_->Fire(kTriggerReprotectionStart);
+  ReplicatorConfig replicator_config;
+  replicator_config.num_buffers = config_.num_buffers;
+  replicator_config.metrics = &metrics_;
+  std::vector<CpuCheckpointStore*> stores;
+  stores.reserve(cpu_stores_.size());
+  for (const auto& store : cpu_stores_) {
+    stores.push_back(store.get());
+  }
+  // Chunks sized by the Algorithm-2 partition: the background traffic uses
+  // the same bursts the idle-span schedule was planned around, so it cannot
+  // stretch the steady-state iteration time.
+  ReprotectReplicas(
+      *cluster_, placement_, std::move(stores), targets, execution_.partition.max_chunk_bytes,
+      replicator_config, [this, targets, started, since](ReplicationOutcome outcome) {
+        reprotection_inflight_ = false;
+        if (!outcome.status.ok()) {
+          GEMINI_LOG(kWarning) << "re-protection pass failed: " << outcome.status;
+          if (running_ && ++reprotection_attempts_ < config_.reprotection_max_attempts) {
+            sim_.ScheduleAfter(config_.reprotection_retry_delay,
+                               [this] { MaybeStartReprotection(); });
+          }
+          return;
+        }
+        reprotection_attempts_ = 0;
+        for (const int rank : targets) {
+          reprotect_targets_.erase(rank);
+        }
+        metrics_.counter("system.reprotections").Increment();
+        metrics_.gauge("system.redundancy.degraded_seconds")
+            .Add(static_cast<double>(sim_.now() - since) / 1e9);
+        tracer_.Span("reprotection", "recovery", started, sim_.now(),
+                     {TraceAttr::Int("targets", static_cast<int64_t>(targets.size()))});
+        GEMINI_LOG(kInfo) << "re-protection: full replica sets restored for "
+                          << targets.size() << " replaced machine(s) after "
+                          << FormatDuration(sim_.now() - since) << " degraded";
+        MaybeStartReprotection();
+      });
 }
 
 void GeminiSystem::RestartAgentsForRank(int rank) {

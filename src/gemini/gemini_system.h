@@ -24,6 +24,7 @@
 
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,16 @@ struct GeminiConfig {
   int kv_server_count = 3;
   TimeNs restart_warmup = Seconds(260);
   BytesPerSecond serialization_bandwidth = 0.93e9;
+  // Peer-retrieval retry cascade (recovery hardening): per-rank attempt cap
+  // across all alive replica holders, with capped exponential backoff between
+  // attempts. Only after the cap is exhausted does recovery fall back to the
+  // persistent tier.
+  int retrieval_max_attempts = 6;
+  TimeNs retrieval_backoff_base = Millis(200);
+  TimeNs retrieval_backoff_cap = Seconds(5);
+  // Background re-protection pass retry cadence after a failed attempt.
+  TimeNs reprotection_retry_delay = Seconds(5);
+  int reprotection_max_attempts = 3;
   AgentConfig agent;
   CloudOperatorConfig cloud;
   KvStoreConfig kvstore;
@@ -200,17 +211,62 @@ class GeminiSystem {
   void MaybePersistentCheckpoint();
   void FinishRun();
 
-  // ---- Recovery (Section 6.2) ----
+  // ---- Recovery (Section 6.2, hardened) ----
+  // One recovery *case* merges every FailureReport that arrives while it is
+  // in flight: an overlapping failure escalates the case (hardware supersedes
+  // software), extends its rank set, bumps `recovery_epoch_`, and restarts
+  // the case analysis against the updated alive set. Every in-flight recovery
+  // callback carries the epoch it was scheduled under and no-ops when a
+  // preemption made it stale. At resume, one RecoveryRecord is emitted per
+  // absorbed report — overlapping failures are never dropped.
+  struct ActiveRecoveryCase {
+    FailureType type = FailureType::kSoftware;  // Escalates, never de-escalates.
+    std::vector<FailureReport> reports;         // Every report merged into the case.
+    std::set<int> ranks;                        // Union of all reported ranks.
+    std::set<int> replacing;                    // Replacement requested (once per rank).
+    std::vector<int> replaced;                  // Fresh-DRAM ranks (replacement done).
+    int pending_replacements = 0;
+    TimeNs first_detected_at = 0;
+    TimeNs serialize_done_at = 0;
+    int64_t iteration_at_failure = 0;
+  };
+  struct PeerRetrievalContext;
+
   void OnFailureDetected(const FailureReport& report);
-  void RecoverFromSoftwareFailure(const FailureReport& report);
-  void RecoverFromHardwareFailure(const FailureReport& report);
-  // Case 1: fetch replacements' checkpoints from alive group peers.
+  void AbsorbFailureDuringRecovery(const FailureReport& report);
+  // (Re)starts the case under a fresh epoch: software cases schedule the
+  // local restore, hardware cases replace any still-dead ranks first.
+  void StartRecoveryAttempt();
+  void CompleteSoftwareRecovery();
+  void OnMachineReplaced(int rank, Machine& machine);
+  // Once no replacement is pending, schedules the Section 6.2 case analysis
+  // after the serialization window.
+  void MaybeAnalyzeHardwareCase();
+  RecoveryRecord MakeCaseRecord() const;
+  // Case 1: fetch replacements' checkpoints from alive group peers, retrying
+  // across all holders (capped exponential backoff, CRC per attempt).
   void RetrieveFromPeersAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
+  void TryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank, int attempt,
+                       uint64_t epoch);
+  void RetryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank, int attempt,
+                         uint64_t epoch, const Status& why);
+  void FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx, uint64_t epoch);
+  TimeNs RetryBackoff(int attempt) const;
   // Case 2: roll everyone back to the persistent tier.
   void RetrieveFromPersistentAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
   void ResumeTraining(RecoveryRecord record);
   void RestartAgentsForRank(int rank);
   void OnWorkerPromotedToRoot(int rank);
+
+  // ---- Re-protection (recovery hardening) ----
+  // After a hardware recovery resumes training, replaced machines hold no
+  // replicas for the owners they are assigned — the cluster runs with
+  // degraded redundancy. A background pass streams the missing replicas back
+  // through the Replicator's chunked data plane (chunks sized by the
+  // Algorithm-2 partition so the traffic stays inside idle spans) and exports
+  // the vulnerability window as system.redundancy.degraded_seconds.
+  void QueueReprotection(const std::vector<int>& targets, TimeNs degraded_since);
+  void MaybeStartReprotection();
 
   // Serialization time for the replicas each machine holds (torch.save at
   // recovery; Figure 14's 162 s).
@@ -246,6 +302,15 @@ class GeminiSystem {
   bool initialized_ = false;
   bool running_ = false;
   bool recovering_ = false;
+  // The active merged failure case (set while recovering_) and the epoch that
+  // invalidates stale recovery callbacks after a mid-recovery preemption.
+  std::optional<ActiveRecoveryCase> active_case_;
+  uint64_t recovery_epoch_ = 0;
+  // Replaced machines awaiting the background re-replication pass.
+  std::set<int> reprotect_targets_;
+  TimeNs degraded_since_ = 0;
+  bool reprotection_inflight_ = false;
+  int reprotection_attempts_ = 0;
   int64_t target_iterations_ = 0;
   TimeNs run_started_at_ = 0;
   TimeNs last_persistent_checkpoint_at_ = 0;

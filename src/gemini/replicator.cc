@@ -40,12 +40,24 @@ struct Stream : std::enable_shared_from_this<Stream> {
   std::shared_ptr<Outcome> outcome;
   CpuCheckpointStore* store = nullptr;
   Checkpoint snapshot;  // Owner's full checkpoint (payload sliced per chunk).
+  int source = -1;      // Fabric endpoint the bytes come from (the owner for
+                        // foreground replication, any holder for re-protection).
   int dest = -1;
+  // Re-protection streams run concurrently with foreground checkpointing: a
+  // newer commit clobbering this stream's in-progress write means the
+  // redundancy goal was already met, so losing that race is success.
+  bool tolerate_supersede = false;
   std::vector<ChunkAssignment> chunks;
   TimeNs alpha = 0;
   size_t next_send = 0;
   size_t committed_chunks = 0;
   std::vector<float> assembled;
+
+  // True when a write-path error just means a newer checkpoint landed first.
+  bool Superseded() const {
+    return tolerate_supersede &&
+           store->LatestIteration(snapshot.owner_rank) >= snapshot.iteration;
+  }
 
   // Payload slice [begin, end) corresponding to chunk k's byte range.
   std::pair<size_t, size_t> SliceFor(const ChunkAssignment& chunk) const {
@@ -68,7 +80,7 @@ struct Stream : std::enable_shared_from_this<Stream> {
     auto self = shared_from_this();
     Fabric::TransferOptions options;  // Checkpoint streams run at line rate.
     cluster->fabric().Transfer(
-        snapshot.owner_rank, dest, chunk.bytes, options, [self, chunk](Status status) {
+        source, dest, chunk.bytes, options, [self, chunk](Status status) {
           if (!status.ok()) {
             self->outcome->Fail(std::move(status));
             return;
@@ -98,6 +110,10 @@ struct Stream : std::enable_shared_from_this<Stream> {
     }
     const Status appended = store->AppendChunk(snapshot.owner_rank, chunk.bytes);
     if (!appended.ok()) {
+      if (Superseded()) {
+        outcome->StreamFinished(cluster->sim().now());
+        return;
+      }
       outcome->Fail(appended);
       return;
     }
@@ -110,6 +126,10 @@ struct Stream : std::enable_shared_from_this<Stream> {
       received.payload = assembled;
       const Status committed = store->CommitWrite(std::move(received));
       if (!committed.ok()) {
+        if (Superseded()) {
+          outcome->StreamFinished(cluster->sim().now());
+          return;
+        }
         outcome->Fail(committed);
         return;
       }
@@ -155,6 +175,7 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
       stream->outcome = outcome;
       stream->store = stores[static_cast<size_t>(dest)];
       stream->snapshot = snapshot;
+      stream->source = owner;
       stream->dest = dest;
       stream->alpha = config.comm_alpha;
       stream->assembled.assign(snapshot.payload.size(), 0.0f);
@@ -189,6 +210,98 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
   }
 
   outcome->pending_streams += static_cast<int>(streams.size());
+  for (const auto& stream : streams) {
+    const int window = std::max(1, config.num_buffers);
+    for (int i = 0; i < window; ++i) {
+      stream->SendNext();
+    }
+  }
+}
+
+void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
+                       std::vector<CpuCheckpointStore*> stores,
+                       const std::vector<int>& target_ranks, Bytes chunk_bytes,
+                       const ReplicatorConfig& config,
+                       std::function<void(ReplicationOutcome)> done) {
+  assert(static_cast<int>(stores.size()) == cluster.size());
+
+  auto outcome = std::make_shared<Outcome>();
+  outcome->metrics = config.metrics;
+  outcome->done = std::move(done);
+
+  std::vector<std::shared_ptr<Stream>> streams;
+  for (const int target : target_ranks) {
+    if (!cluster.machine(target).alive()) {
+      continue;  // Died again; a later pass will pick it up post-replacement.
+    }
+    for (int owner = 0; owner < cluster.size(); ++owner) {
+      const auto& holders = placement.replica_sets[static_cast<size_t>(owner)];
+      if (std::find(holders.begin(), holders.end(), target) == holders.end()) {
+        continue;  // The target is not in this owner's replica set.
+      }
+      // Best alive source: the holder (or the owner itself) with the newest
+      // CRC-verified copy of `owner`'s checkpoint.
+      int source = -1;
+      std::optional<Checkpoint> snapshot;
+      for (const int candidate : holders) {
+        if (candidate == target || !cluster.machine(candidate).alive()) {
+          continue;
+        }
+        std::optional<Checkpoint> copy =
+            stores[static_cast<size_t>(candidate)]->LatestVerified(owner);
+        if (copy.has_value() &&
+            (!snapshot.has_value() || copy->iteration > snapshot->iteration)) {
+          source = candidate;
+          snapshot = std::move(copy);
+        }
+      }
+      if (!snapshot.has_value()) {
+        continue;  // No surviving copy anywhere; nothing to re-protect from.
+      }
+      if (stores[static_cast<size_t>(target)]->LatestIteration(owner) >= snapshot->iteration) {
+        continue;  // Already protected (a foreground commit got there first).
+      }
+      auto stream = std::make_shared<Stream>();
+      stream->cluster = &cluster;
+      stream->outcome = outcome;
+      stream->store = stores[static_cast<size_t>(target)];
+      stream->snapshot = *snapshot;
+      stream->source = source;
+      stream->dest = target;
+      stream->tolerate_supersede = true;
+      stream->alpha = config.comm_alpha;
+      stream->assembled.assign(snapshot->payload.size(), 0.0f);
+      const Bytes total = snapshot->logical_bytes;
+      const Bytes step = chunk_bytes > 0 ? std::min(chunk_bytes, total) : total;
+      for (Bytes offset = 0; offset < total; offset += step) {
+        ChunkAssignment chunk;
+        chunk.bytes = std::min(step, total - offset);
+        chunk.offset = offset;
+        stream->chunks.push_back(chunk);
+      }
+      const Status begun = stream->store->BeginWrite(owner, snapshot->iteration);
+      if (!begun.ok()) {
+        outcome->Fail(begun);
+        return;
+      }
+      streams.push_back(std::move(stream));
+    }
+  }
+
+  if (streams.empty()) {
+    // Everything is already fully replicated (or nothing can be): report
+    // success with zero traffic.
+    outcome->result.status = Status::Ok();
+    outcome->result.committed_at = cluster.sim().now();
+    outcome->done(outcome->result);
+    return;
+  }
+
+  outcome->pending_streams = static_cast<int>(streams.size());
+  if (config.metrics != nullptr) {
+    config.metrics->counter("replicator.reprotected_replicas")
+        .Increment(static_cast<int64_t>(streams.size()));
+  }
   for (const auto& stream : streams) {
     const int window = std::max(1, config.num_buffers);
     for (int i = 0; i < window; ++i) {

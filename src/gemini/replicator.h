@@ -58,6 +58,23 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
                        const ReplicatorConfig& config,
                        std::function<void(ReplicationOutcome)> done);
 
+// Re-protection (recovery hardening): streams the latest CRC-verified
+// checkpoints back onto `target_ranks` (machines whose DRAM is fresh after a
+// hardware replacement) so every owner's full replica set exists again. Each
+// missing replica is fetched from the best alive holder through the same
+// chunked Stream data plane as ReplicateSnapshot; `chunk_bytes` bounds the
+// per-transfer burst (callers pass the Algorithm-2 max chunk size so the
+// traffic keeps fitting the idle spans it was planned for). Replicas the
+// target already holds at (or past) the source's iteration are skipped, and
+// a stream that loses a race with a newer foreground checkpoint commit
+// counts as satisfied — the redundancy goal was met by the newer write.
+// `done` fires once per call, with the first hard error or Ok.
+void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
+                       std::vector<CpuCheckpointStore*> stores,
+                       const std::vector<int>& target_ranks, Bytes chunk_bytes,
+                       const ReplicatorConfig& config,
+                       std::function<void(ReplicationOutcome)> done);
+
 }  // namespace gemini
 
 #endif  // SRC_GEMINI_REPLICATOR_H_

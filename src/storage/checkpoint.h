@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/crc32.h"
 #include "src/common/units.h"
 
 namespace gemini {
@@ -28,8 +29,19 @@ struct Checkpoint {
   Bytes logical_bytes = 0;
   // Real payload.
   std::vector<float> payload;
+  // CRC-32 of the payload bytes, recorded at capture time so every tier can
+  // verify the replica it is about to serve (0 = no digest recorded, e.g. a
+  // hand-built test checkpoint).
+  uint32_t payload_crc = 0;
 
   bool valid() const { return owner_rank >= 0 && iteration >= 0; }
+
+  uint32_t ComputePayloadCrc() const {
+    return payload.empty() ? 0 : Crc32(payload.data(), payload.size() * sizeof(float));
+  }
+  void StampPayloadCrc() { payload_crc = ComputePayloadCrc(); }
+  // True when the payload still matches its recorded digest.
+  bool IntegrityOk() const { return payload_crc == 0 || payload_crc == ComputePayloadCrc(); }
 
   friend bool operator==(const Checkpoint& a, const Checkpoint& b) {
     return a.owner_rank == b.owner_rank && a.iteration == b.iteration &&

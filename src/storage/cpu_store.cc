@@ -1,7 +1,9 @@
 #include "src/storage/cpu_store.h"
 
 #include <cassert>
+#include <cstring>
 
+#include "src/common/logging.h"
 #include "src/obs/metrics.h"
 
 namespace gemini {
@@ -125,9 +127,45 @@ std::optional<Checkpoint> CpuCheckpointStore::Latest(int owner_rank) const {
   return it->second.completed;
 }
 
+std::optional<Checkpoint> CpuCheckpointStore::LatestVerified(int owner_rank) const {
+  std::optional<Checkpoint> latest = Latest(owner_rank);
+  if (!latest.has_value()) {
+    return std::nullopt;
+  }
+  if (!latest->IntegrityOk()) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("cpu_store.crc_failures").Increment();
+    }
+    GEMINI_LOG(kWarning) << "cpu store on " << machine_->DebugName()
+                         << ": replica for owner " << owner_rank
+                         << " failed its CRC check; treating as lost";
+    return std::nullopt;
+  }
+  return latest;
+}
+
 int64_t CpuCheckpointStore::LatestIteration(int owner_rank) const {
   const std::optional<Checkpoint> latest = Latest(owner_rank);
   return latest.has_value() ? latest->iteration : -1;
+}
+
+Status CpuCheckpointStore::CorruptLatest(int owner_rank, size_t bit_index) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end() || !it->second.completed.has_value()) {
+    return NotFoundError("no completed replica to corrupt");
+  }
+  Checkpoint& checkpoint = *it->second.completed;
+  if (checkpoint.payload.empty()) {
+    return FailedPreconditionError("replica has no payload bytes");
+  }
+  const size_t total_bits = checkpoint.payload.size() * sizeof(float) * 8;
+  const size_t bit = bit_index % total_bits;
+  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.data());
+  bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  if (metrics_ != nullptr) {
+    metrics_->counter("cpu_store.corruptions").Increment();
+  }
+  return Status::Ok();
 }
 
 }  // namespace gemini

@@ -56,8 +56,18 @@ class CpuCheckpointStore {
 
   // Latest completed checkpoint for an owner, if any.
   std::optional<Checkpoint> Latest(int owner_rank) const;
+  // Like Latest(), but re-checks the payload CRC before serving: a replica
+  // whose bytes no longer match the digest recorded at capture time is
+  // treated as absent (and counted under "cpu_store.crc_failures"). Every
+  // recovery read goes through this so a torn or bit-flipped replica can
+  // never be restored silently.
+  std::optional<Checkpoint> LatestVerified(int owner_rank) const;
   // Iteration of the latest completed checkpoint, or -1.
   int64_t LatestIteration(int owner_rank) const;
+
+  // Fault injection: flips one payload bit of the owner's completed replica
+  // (the checkpoint bit-rot the CRC reads exist to catch).
+  Status CorruptLatest(int owner_rank, size_t bit_index);
 
   Bytes reserved_bytes() const { return reserved_; }
 

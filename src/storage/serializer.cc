@@ -99,6 +99,9 @@ StatusOr<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
   if (count > 0) {
     std::memcpy(checkpoint.payload.data(), bytes.data() + offset, count * sizeof(float));
   }
+  // The stream CRC above already vouched for these bytes; re-stamp the
+  // payload digest so in-memory integrity checks keep working downstream.
+  checkpoint.StampPayloadCrc();
   return checkpoint;
 }
 

@@ -62,6 +62,7 @@ Checkpoint ShardedTrainer::MakeCheckpoint(int rank) const {
   checkpoint.iteration = iteration_;
   checkpoint.logical_bytes = checkpoint_bytes_per_machine();
   checkpoint.payload = shards_.at(static_cast<size_t>(rank));
+  checkpoint.StampPayloadCrc();
   return checkpoint;
 }
 
