@@ -13,6 +13,7 @@
 #include "src/cluster/instance_spec.h"
 #include "src/common/json_writer.h"
 #include "src/common/table_printer.h"
+#include "src/obs/metrics.h"
 #include "src/schedule/executor.h"
 #include "src/training/model_config.h"
 #include "src/training/timeline.h"
@@ -90,6 +91,17 @@ class BenchReporter {
   }
   void Metric(const std::string& key, int64_t value) {
     metrics_[key] = std::to_string(value);
+  }
+
+  // Registers a histogram's distribution under `key`: count plus mean and the
+  // p50/p95/p99 quantiles ("<key>.count", "<key>.mean", "<key>.p50", ...) —
+  // reports carry tail behaviour, not just means.
+  void HistogramMetric(const std::string& key, const Histogram& histogram) {
+    Metric(key + ".count", histogram.count());
+    Metric(key + ".mean", histogram.stat().mean());
+    Metric(key + ".p50", histogram.Quantile(0.5));
+    Metric(key + ".p95", histogram.Quantile(0.95));
+    Metric(key + ".p99", histogram.Quantile(0.99));
   }
 
   // Records the pass/fail verdict and prints the standard shape-check line.

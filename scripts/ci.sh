@@ -33,7 +33,23 @@ echo "==> sanitizer pass: configure + build (address,undefined)"
 cmake -B build-asan -S . -DGEMINI_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j
 
-echo "==> sanitizer pass: ctest"
-(cd build-asan && ctest --output-on-failure -j"$(nproc)")
+echo "==> sanitizer pass: ctest -L obs (auditor, flight recorder, tracer determinism)"
+(cd build-asan && ctest --output-on-failure -L obs)
+
+echo "==> sanitizer pass: ctest (remaining suites)"
+(cd build-asan && ctest --output-on-failure -LE obs -j"$(nproc)")
+
+# Smoke-run the auditor bench: its shape check gates the zero-overhead and
+# determinism claims, and an uncapped tracer dropping records is a regression
+# even if the shape check were ever loosened.
+echo "==> bench smoke: bench_ext_auditor"
+GEMINI_BENCH_OUT_DIR="$(mktemp -d)" && trap 'rm -rf "$GEMINI_BENCH_OUT_DIR"' EXIT
+export GEMINI_BENCH_OUT_DIR
+./build/bench/bench_ext_auditor
+if ! grep -q '"stable.tracer_dropped_records": 0' \
+    "$GEMINI_BENCH_OUT_DIR/BENCH_ext_auditor.json"; then
+  echo "FAIL: uncapped tracer dropped records during the auditor smoke run" >&2
+  exit 1
+fi
 
 echo "==> done"

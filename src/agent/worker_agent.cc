@@ -2,6 +2,7 @@
 
 #include "src/common/logging.h"
 #include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
 
 namespace gemini {
 
@@ -68,6 +69,10 @@ void WorkerAgent::PublishStatus(const std::string& status) {
       if (metrics_ != nullptr) {
         metrics_->counter("agent.publish_failures").Increment();
       }
+      if (tracer_ != nullptr) {
+        tracer_->Event("agent_publish_failed", "agent",
+                       {TraceAttr::Int("rank", rank_), TraceAttr::Text("status", status)});
+      }
       GEMINI_LOG(kWarning) << "worker " << rank_ << ": health publish failed (" << put_status
                            << "); will retry on next keepalive";
       return;
@@ -107,6 +112,9 @@ void WorkerAgent::OnKeepAliveTick() {
     if (publish_retry_pending_ && started_ && machine_ok()) {
       if (metrics_ != nullptr) {
         metrics_->counter("agent.publish_retries").Increment();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Event("agent_publish_retry", "agent", {TraceAttr::Int("rank", rank_)});
       }
       PublishStatus(last_status_);
     }

@@ -22,6 +22,7 @@
 namespace gemini {
 
 class MetricsRegistry;
+class RunTracer;
 
 inline constexpr char kHealthKeyPrefix[] = "/gemini/health/";
 inline constexpr char kRootKey[] = "/gemini/root";
@@ -61,6 +62,9 @@ class WorkerAgent {
 
   // Optional sink for "agent.*" counters; may stay null.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional trace sink: publish failures/retries become "agent" track
+  // instants (the flight recorder's pre-failure context); may stay null.
+  void set_tracer(RunTracer* tracer) { tracer_ = tracer; }
 
  private:
   std::string health_key() const { return kHealthKeyPrefix + std::to_string(rank_); }
@@ -86,6 +90,7 @@ class WorkerAgent {
   std::unique_ptr<RepeatingTimer> root_watch_timer_;
   std::function<void()> on_promoted_;
   MetricsRegistry* metrics_ = nullptr;
+  RunTracer* tracer_ = nullptr;
 };
 
 }  // namespace gemini

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -22,7 +23,11 @@ std::string_view RecoverySourceName(RecoverySource source) {
   return "unknown";
 }
 
-GeminiSystem::GeminiSystem(GeminiConfig config) : config_(std::move(config)) {
+GeminiSystem::GeminiSystem(GeminiConfig config)
+    : config_(std::move(config)),
+      auditor_(config_.audit, &metrics_, &tracer_),
+      flight_recorder_(FlightRecorderConfig{config_.flight_recorder_capacity}),
+      audit_rng_(config_.seed ^ 0x617564ULL) {
   if (config_.instance.name.empty()) {
     config_.instance = P4d24xlarge();
   }
@@ -67,6 +72,7 @@ Status GeminiSystem::Initialize() {
   trainer_ = std::make_unique<ShardedTrainer>(config_.model, config_.num_machines,
                                               config_.payload_elements, config_.seed);
   trainer_->set_metrics(&metrics_);
+  trainer_->set_tracer(&tracer_);
   persistent_ = std::make_unique<PersistentStore>(sim_, config_.persistent);
   persistent_->set_metrics(&metrics_);
   for (int rank = 0; rank < config_.num_machines; ++rank) {
@@ -93,6 +99,7 @@ Status GeminiSystem::Initialize() {
         std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
     worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
     worker->set_metrics(&metrics_);
+    worker->set_tracer(&tracer_);
     worker->Start();
     workers_.push_back(std::move(worker));
   }
@@ -139,15 +146,15 @@ Status GeminiSystem::Initialize() {
   Rng profile_rng(config_.seed ^ 0x70726fULL);
   profile_ = ProfileIdleSpans(timeline_, profiler_config, profile_rng);
 
-  ExecutorParams executor_params;
-  executor_params.timeline = timeline_params;
-  executor_params.scheme = InterleaveScheme::kPipelined;
-  executor_params.num_replicas = config_.num_replicas;
-  executor_params.reserved_buffer_per_gpu = config_.reserved_buffer_per_gpu;
-  executor_params.num_buffers = config_.num_buffers;
-  executor_params.gamma = config_.gamma;
-  executor_params.profiled_spans = profile_.spans;
-  const FrequencyDecision frequency = ChooseCheckpointFrequency(executor_params);
+  executor_params_ = ExecutorParams{};
+  executor_params_.timeline = timeline_params;
+  executor_params_.scheme = InterleaveScheme::kPipelined;
+  executor_params_.num_replicas = config_.num_replicas;
+  executor_params_.reserved_buffer_per_gpu = config_.reserved_buffer_per_gpu;
+  executor_params_.num_buffers = config_.num_buffers;
+  executor_params_.gamma = config_.gamma;
+  executor_params_.profiled_spans = profile_.spans;
+  const FrequencyDecision frequency = ChooseCheckpointFrequency(executor_params_);
   execution_ = frequency.execution;
   checkpoint_interval_iterations_ = frequency.interval_iterations;
   GEMINI_RETURN_IF_ERROR(execution_.status);
@@ -156,6 +163,17 @@ Status GeminiSystem::Initialize() {
                       << "checkpointing every " << checkpoint_interval_iterations_
                       << " iterations (Section 5.3 amortization)";
   }
+
+  // ---- Continuous interference auditor + flight recorder (observability
+  // feedback loop): the tracer feeds the bounded ring through its record
+  // sink, and the auditor watches every iteration's spans for drift away
+  // from the profile just installed.
+  tracer_.set_metrics(&metrics_);
+  tracer_.set_max_records(config_.tracer_max_records);
+  tracer_.set_record_sink(
+      [this](const TraceRecord& record) { flight_recorder_.Record(record); });
+  auditor_.Rebaseline(profile_.spans, execution_.partition, AuditPartitionParams());
+  auditor_.set_on_drift([this](int64_t iteration) { ReprofileAndRepartition(iteration); });
 
   // Reserve the checkpoint communication buffer on every GPU.
   for (int rank = 0; rank < config_.num_machines; ++rank) {
@@ -222,8 +240,22 @@ void GeminiSystem::StartNextIteration() {
   // idle spans, committing during the block's last iteration. k == 1 is the
   // paper's common case: stage and commit within the same iteration.
   const int64_t iteration = trainer_->iteration();
-  const int interval = checkpoint_interval_iterations_;
   iteration_started_at_ = sim_.now();
+  // Audit this iteration's realized timeline before scheduling anything: a
+  // persistent drift may re-profile and re-partition right here, changing the
+  // interval and chunk schedule the rest of this function uses. Interference
+  // (chunks that no longer fit their shrunken spans) prolongs the iteration
+  // by the attributed inflation.
+  AuditReport audit;
+  if (config_.audit.enabled) {
+    audit = auditor_.AuditIteration(iteration, ObservedSpanLengths(), iteration_started_at_);
+    if (audit.reprofile_triggered) {
+      // The attributed inflation belonged to the schedule the re-profile just
+      // replaced; this iteration already runs the fresh one.
+      audit.inflation = 0;
+    }
+  }
+  const int interval = checkpoint_interval_iterations_;
   if (iteration % interval == 0) {
     staged_snapshots_.clear();
     for (int owner = 0; owner < config_.num_machines; ++owner) {
@@ -244,10 +276,71 @@ void GeminiSystem::StartNextIteration() {
                              OnCheckpointCommit(snapshot_iteration);
                            });
   }
-  iteration_end_event_ = sim_.ScheduleAfter(execution_.iteration_time, [this] {
+  iteration_end_event_ = sim_.ScheduleAfter(execution_.iteration_time + audit.inflation, [this] {
     iteration_end_event_ = EventId{};
     OnIterationComplete();
   });
+}
+
+std::vector<TimeNs> GeminiSystem::ObservedSpanLengths() {
+  std::vector<TimeNs> observed;
+  observed.reserve(timeline_.idle_spans.size());
+  for (const IdleSpan& span : timeline_.idle_spans) {
+    const double jitter =
+        1.0 + audit_rng_.Normal(0.0, config_.observed_span_jitter_stddev);
+    const double length =
+        static_cast<double>(span.length) * timeline_shift_ * std::max(0.0, jitter);
+    observed.push_back(static_cast<TimeNs>(length));
+  }
+  return observed;
+}
+
+PartitionParams GeminiSystem::AuditPartitionParams() const {
+  PartitionParams params;
+  params.idle_spans = profile_.spans;
+  params.bandwidth = config_.instance.network_bandwidth;
+  params.alpha = executor_params_.timeline.comm_alpha;
+  return params;
+}
+
+void GeminiSystem::ReprofileAndRepartition(int64_t iteration) {
+  // Online Section 5.4 re-profile against the timeline as it now is: the
+  // nominal spans scaled by the persistent shift, observed with the usual
+  // profiling jitter.
+  IterationTimeline shifted = timeline_;
+  for (IdleSpan& span : shifted.idle_spans) {
+    span.length = static_cast<TimeNs>(static_cast<double>(span.length) * timeline_shift_);
+  }
+  ProfilerConfig profiler_config;
+  profiler_config.iterations = config_.profile_iterations;
+  profile_ = ProfileIdleSpans(shifted, profiler_config, audit_rng_);
+
+  // Algorithm-2 re-partition on the fresh profile; Section 5.3 frequency
+  // adaptation may raise the interval when the shrunken spans no longer
+  // carry a full checkpoint per iteration.
+  executor_params_.profiled_spans = profile_.spans;
+  const FrequencyDecision frequency = ChooseCheckpointFrequency(executor_params_);
+  if (frequency.execution.status.ok()) {
+    execution_ = frequency.execution;
+    checkpoint_interval_iterations_ = frequency.interval_iterations;
+    report_.iteration_time = execution_.iteration_time;
+    // Any in-flight checkpoint block was planned under the old schedule;
+    // restart block accounting under the new one.
+    staged_iteration_ = -1;
+    staged_snapshots_.clear();
+  } else {
+    GEMINI_LOG(kWarning) << "online re-partition failed (" << frequency.execution.status
+                         << "); keeping the previous schedule";
+  }
+  auditor_.Rebaseline(profile_.spans, execution_.partition, AuditPartitionParams());
+  metrics_.counter("system.reprofiles").Increment();
+  tracer_.Span("reprofile", "audit", iteration_started_at_, sim_.now(),
+               {TraceAttr::Int("iteration", iteration),
+                TraceAttr::Int("interval", checkpoint_interval_iterations_),
+                TraceAttr::Real("shift", timeline_shift_)});
+  GEMINI_LOG(kInfo) << "auditor: timeline drift persisted at iteration " << iteration
+                    << "; re-profiled and re-partitioned (interval now "
+                    << checkpoint_interval_iterations_ << ")";
 }
 
 void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
@@ -348,6 +441,9 @@ void GeminiSystem::OnFailureDetected(const FailureReport& report) {
                 {TraceAttr::Text("type", std::string(FailureTypeName(report.type))),
                  TraceAttr::Int("num_ranks", static_cast<int64_t>(report.ranks.size())),
                  TraceAttr::Int("iteration", trainer_->iteration())});
+  if (config_.flight_recorder_capacity > 0) {
+    flight_recorder_.Dump("failure_detected", sim_.now(), &metrics_);
+  }
   GEMINI_LOG(kInfo) << "recovery: handling " << FailureTypeName(report.type) << " failure of "
                     << report.ranks.size() << " machine(s)";
   // The root agent keeps scanning during recovery (its handled-set suppresses
@@ -832,6 +928,9 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
   }
   tracer_.Event("training_resumed", "recovery",
                 {TraceAttr::Int("iteration", record.rollback_iteration)});
+  if (config_.flight_recorder_capacity > 0) {
+    flight_recorder_.Dump("recovery_complete", sim_.now(), &metrics_);
+  }
   recovering_ = false;
   active_case_.reset();
   if (root_agent_ != nullptr) {
@@ -863,6 +962,7 @@ void GeminiSystem::MaybeStartReprotection() {
   ReplicatorConfig replicator_config;
   replicator_config.num_buffers = config_.num_buffers;
   replicator_config.metrics = &metrics_;
+  replicator_config.auditor = &auditor_;
   std::vector<CpuCheckpointStore*> stores;
   stores.reserve(cpu_stores_.size());
   for (const auto& store : cpu_stores_) {
@@ -904,6 +1004,7 @@ void GeminiSystem::RestartAgentsForRank(int rank) {
   auto worker = std::make_unique<WorkerAgent>(sim_, *cluster_, *kvstore_, rank, config_.agent);
   worker->set_on_promoted_to_root([this, rank] { OnWorkerPromotedToRoot(rank); });
   worker->set_metrics(&metrics_);
+  worker->set_tracer(&tracer_);
   worker->Start();
   workers_[static_cast<size_t>(rank)] = std::move(worker);
 }
@@ -958,6 +1059,15 @@ SystemSnapshot GeminiSystem::Snapshot() const {
     }
   }
   snapshot.root_rank = root_rank_;
+  snapshot.audits = auditor_.audits();
+  snapshot.interference_events = auditor_.total_interference_events();
+  snapshot.interference_inflation = auditor_.total_inflation();
+  for (const double ewma : auditor_.drift_ewma()) {
+    snapshot.max_abs_drift_ewma = std::max(snapshot.max_abs_drift_ewma, std::fabs(ewma));
+  }
+  snapshot.reprofiles = auditor_.reprofiles();
+  snapshot.flight_dumps = flight_recorder_.dump_count();
+  snapshot.tracer_dropped_records = tracer_.dropped_records();
   return snapshot;
 }
 

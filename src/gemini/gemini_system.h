@@ -34,7 +34,10 @@
 #include "src/agent/worker_agent.h"
 #include "src/baselines/system_model.h"
 #include "src/cluster/cluster.h"
+#include "src/common/rng.h"
 #include "src/kvstore/kv_store.h"
+#include "src/obs/auditor.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/run_tracer.h"
 #include "src/placement/placement.h"
@@ -73,6 +76,17 @@ struct GeminiConfig {
   // Background re-protection pass retry cadence after a failed attempt.
   TimeNs reprotection_retry_delay = Seconds(5);
   int reprotection_max_attempts = 3;
+  // Continuous interference auditing (drift detection + adaptive re-profile).
+  AuditorConfig audit;
+  // Per-iteration multiplicative jitter on the observed idle spans the
+  // auditor compares against the profile (mirrors the profiler's measured
+  // <10% normalized stddev). Zero-mean, so it never triggers drift by itself.
+  double observed_span_jitter_stddev = 0.05;
+  // Flight recorder ring capacity in trace records (0 disables dumps).
+  size_t flight_recorder_capacity = 256;
+  // RunTracer stored-record cap (0 = unlimited; dropped records are counted
+  // in "tracer.dropped_records").
+  size_t tracer_max_records = 0;
   AgentConfig agent;
   CloudOperatorConfig cloud;
   KvStoreConfig kvstore;
@@ -131,6 +145,15 @@ struct SystemSnapshot {
   int64_t recoveries_from_remote_cpu = 0;
   int64_t recoveries_from_persistent = 0;
   int root_rank = 0;
+
+  // Interference audit headline numbers (tentpole observability).
+  int64_t audits = 0;
+  int64_t interference_events = 0;
+  TimeNs interference_inflation = 0;
+  double max_abs_drift_ewma = 0.0;
+  int64_t reprofiles = 0;
+  int64_t flight_dumps = 0;
+  int64_t tracer_dropped_records = 0;
 };
 
 struct TrainingReport {
@@ -179,6 +202,18 @@ class GeminiSystem {
   const MetricsRegistry& metrics() const { return metrics_; }
   RunTracer& tracer() { return tracer_; }
   const RunTracer& tracer() const { return tracer_; }
+  InterferenceAuditor& auditor() { return auditor_; }
+  const InterferenceAuditor& auditor() const { return auditor_; }
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
+  const FlightRecorder& flight_recorder() const { return flight_recorder_; }
+
+  // Fault/experiment hook: from now on, every observed idle span is `scale`
+  // times its nominal length (a persistent timeline shift — e.g. network
+  // contention shrinking the spans the chunk schedule was planned around).
+  // The auditor sees the shift, attributes the resulting interference, and —
+  // once drift persists — re-profiles and re-partitions online.
+  void InjectTimelineShift(double scale) { timeline_shift_ = scale; }
+  double timeline_shift() const { return timeline_shift_; }
 
   // Coherent one-struct view of placement/schedule/profile/progress.
   SystemSnapshot Snapshot() const;
@@ -210,6 +245,18 @@ class GeminiSystem {
   void OnIterationComplete();
   void MaybePersistentCheckpoint();
   void FinishRun();
+
+  // ---- Interference audit (tentpole) ----
+  // The iteration's realized idle-span lengths: nominal spans scaled by the
+  // injected timeline shift and per-span jitter (deterministic audit RNG).
+  std::vector<TimeNs> ObservedSpanLengths();
+  // Transfer-cost model the auditor uses to price chunks (matches the
+  // executor's partition parameters).
+  PartitionParams AuditPartitionParams() const;
+  // Drift hook: re-run the Section 5.4 profiling on the shifted timeline,
+  // re-partition with Algorithm 2 (possibly raising the checkpoint interval,
+  // Section 5.3), and rebaseline the auditor.
+  void ReprofileAndRepartition(int64_t iteration);
 
   // ---- Recovery (Section 6.2, hardened) ----
   // One recovery *case* merges every FailureReport that arrives while it is
@@ -276,6 +323,10 @@ class GeminiSystem {
   Simulator sim_;
   MetricsRegistry metrics_;
   RunTracer tracer_{sim_};
+  InterferenceAuditor auditor_;
+  FlightRecorder flight_recorder_;
+  Rng audit_rng_;
+  double timeline_shift_ = 1.0;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<KvStoreCluster> kvstore_;
   std::unique_ptr<PersistentStore> persistent_;
@@ -291,6 +342,9 @@ class GeminiSystem {
   IterationTimeline timeline_;
   ProfileResult profile_;
   ExecutionResult execution_;
+  // Executor parameters of the active schedule, kept so the online
+  // re-partition replans against the refreshed profile.
+  ExecutorParams executor_params_;
   int checkpoint_interval_iterations_ = 1;
   // Snapshot captured at the start of the current checkpoint block, held in
   // the staging buffers until the block's last iteration commits it.

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/logging.h"
+#include "src/obs/auditor.h"
 #include "src/obs/metrics.h"
 
 namespace gemini {
@@ -13,6 +14,7 @@ namespace {
 struct Outcome {
   ReplicationOutcome result;
   MetricsRegistry* metrics = nullptr;
+  InterferenceAuditor* auditor = nullptr;
   int pending_streams = 0;
   bool failed = false;
   std::function<void(ReplicationOutcome)> done;
@@ -78,9 +80,10 @@ struct Stream : std::enable_shared_from_this<Stream> {
     const size_t k = next_send++;
     const ChunkAssignment chunk = chunks[k];
     auto self = shared_from_this();
+    const TimeNs sent_at = cluster->sim().now();
     Fabric::TransferOptions options;  // Checkpoint streams run at line rate.
     cluster->fabric().Transfer(
-        source, dest, chunk.bytes, options, [self, chunk](Status status) {
+        source, dest, chunk.bytes, options, [self, chunk, sent_at](Status status) {
           if (!status.ok()) {
             self->outcome->Fail(std::move(status));
             return;
@@ -90,6 +93,11 @@ struct Stream : std::enable_shared_from_this<Stream> {
             self->outcome->metrics->counter("replicator.chunks_transferred").Increment();
             self->outcome->metrics->counter("replicator.bytes_replicated")
                 .Increment(chunk.bytes);
+          }
+          if (self->outcome->auditor != nullptr) {
+            self->outcome->auditor->NoteBackgroundTransfer(chunk.span_index, chunk.bytes,
+                                                           sent_at,
+                                                           self->cluster->sim().now());
           }
           self->outcome->result.network_done =
               std::max(self->outcome->result.network_done, self->cluster->sim().now());
@@ -156,6 +164,7 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
 
   auto outcome = std::make_shared<Outcome>();
   outcome->metrics = config.metrics;
+  outcome->auditor = config.auditor;
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;
@@ -227,6 +236,7 @@ void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
 
   auto outcome = std::make_shared<Outcome>();
   outcome->metrics = config.metrics;
+  outcome->auditor = config.auditor;
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;

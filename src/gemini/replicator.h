@@ -28,6 +28,7 @@
 
 namespace gemini {
 
+class InterferenceAuditor;
 class MetricsRegistry;
 
 struct ReplicatorConfig {
@@ -36,6 +37,9 @@ struct ReplicatorConfig {
   TimeNs comm_alpha = Micros(100);
   // Optional sink for "replicator.*" counters; may stay null.
   MetricsRegistry* metrics = nullptr;
+  // Optional interference auditor notified of every completed chunk transfer
+  // (the background traffic it attributes inflation to); may stay null.
+  InterferenceAuditor* auditor = nullptr;
 };
 
 struct ReplicationOutcome {

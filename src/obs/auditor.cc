@@ -1,0 +1,131 @@
+#include "src/obs/auditor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
+
+namespace gemini {
+
+SpanAttribution AttributeSpan(TimeNs observed_length, const std::vector<TimeNs>& chunk_costs) {
+  SpanAttribution result;
+  TimeNs cumulative = 0;
+  for (const TimeNs cost : chunk_costs) {
+    cumulative += cost;
+    if (cumulative > observed_length) {
+      ++result.interference_events;
+    }
+  }
+  result.inflation = std::max<TimeNs>(0, cumulative - observed_length);
+  return result;
+}
+
+void InterferenceAuditor::Rebaseline(const std::vector<IdleSpan>& profiled_spans,
+                                     const PartitionResult& plan,
+                                     const PartitionParams& params) {
+  profiled_spans_ = profiled_spans;
+  span_chunk_costs_.assign(profiled_spans.size(), {});
+  for (const ChunkAssignment& chunk : plan.chunks) {
+    if (chunk.span_index < 0 ||
+        chunk.span_index >= static_cast<int>(span_chunk_costs_.size())) {
+      continue;
+    }
+    const TimeNs cost = params.alpha + TransferTime(chunk.bytes, params.bandwidth);
+    span_chunk_costs_[static_cast<size_t>(chunk.span_index)].push_back(cost);
+  }
+  drift_ewma_.assign(profiled_spans.size(), 0.0);
+  consecutive_drifted_ = 0;
+}
+
+AuditReport InterferenceAuditor::AuditIteration(int64_t iteration,
+                                                const std::vector<TimeNs>& observed_span_lengths,
+                                                TimeNs iteration_start) {
+  AuditReport report;
+  if (!config_.enabled || profiled_spans_.empty()) {
+    return report;
+  }
+  ++audits_;
+  if (metrics_ != nullptr) {
+    metrics_->counter("obs.audits").Increment();
+  }
+
+  for (size_t i = 0; i < profiled_spans_.size(); ++i) {
+    const TimeNs profiled = profiled_spans_[i].length;
+    const TimeNs observed =
+        i < observed_span_lengths.size() ? observed_span_lengths[i] : profiled;
+
+    // Per-span normalized drift, smoothed with an EWMA so a single jittery
+    // iteration does not register as a timeline shift.
+    if (profiled > 0) {
+      const double drift =
+          static_cast<double>(observed - profiled) / static_cast<double>(profiled);
+      drift_ewma_[i] = config_.ewma_alpha * drift + (1.0 - config_.ewma_alpha) * drift_ewma_[i];
+    }
+    report.max_abs_drift = std::max(report.max_abs_drift, std::fabs(drift_ewma_[i]));
+
+    // Attribution: chunks planned into a span that shrank below their total
+    // cost collide with training traffic and prolong the iteration.
+    const SpanAttribution attribution = AttributeSpan(observed, span_chunk_costs_[i]);
+    if (attribution.interference_events > 0) {
+      report.interference_events += attribution.interference_events;
+      report.inflation += attribution.inflation;
+      if (tracer_ != nullptr) {
+        const TimeNs span_start = iteration_start + profiled_spans_[i].start;
+        tracer_->Span("interference", "audit", span_start + observed,
+                      span_start + observed + attribution.inflation,
+                      {TraceAttr::Int("iteration", iteration),
+                       TraceAttr::Int("span", static_cast<int64_t>(i)),
+                       TraceAttr::Int("chunks", attribution.interference_events),
+                       TraceAttr::Int("inflation_ns", attribution.inflation)});
+      }
+    }
+  }
+  total_interference_events_ += report.interference_events;
+  total_inflation_ += report.inflation;
+
+  if (metrics_ != nullptr) {
+    for (size_t i = 0; i < drift_ewma_.size(); ++i) {
+      metrics_->gauge("obs.drift.span_" + std::to_string(i)).Set(drift_ewma_[i]);
+    }
+    metrics_->gauge("obs.drift.max_abs_ewma").Set(report.max_abs_drift);
+    if (report.interference_events > 0) {
+      metrics_->counter("obs.interference.events").Increment(report.interference_events);
+      metrics_->counter("obs.interference.inflation_ns").Increment(report.inflation);
+    }
+  }
+
+  // Trigger: the worst span's |EWMA| above threshold for K consecutive
+  // audits. The hook re-profiles and re-partitions, then calls Rebaseline
+  // (resetting the EWMAs), so one sustained shift fires exactly once.
+  if (report.max_abs_drift > config_.drift_threshold) {
+    ++consecutive_drifted_;
+  } else {
+    consecutive_drifted_ = 0;
+  }
+  if (consecutive_drifted_ >= config_.consecutive_iterations &&
+      reprofiles_ < config_.max_reprofiles && on_drift_) {
+    ++reprofiles_;
+    report.reprofile_triggered = true;
+    if (metrics_ != nullptr) {
+      metrics_->counter("obs.reprofiles").Increment();
+    }
+    on_drift_(iteration);
+    consecutive_drifted_ = 0;
+  }
+  return report;
+}
+
+void InterferenceAuditor::NoteBackgroundTransfer(int span_index, Bytes bytes, TimeNs start,
+                                                 TimeNs end) {
+  (void)span_index;
+  (void)start;
+  (void)end;
+  if (metrics_ != nullptr) {
+    metrics_->counter("obs.background.chunks").Increment();
+    metrics_->counter("obs.background.bytes").Increment(bytes);
+  }
+}
+
+}  // namespace gemini

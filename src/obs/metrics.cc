@@ -50,6 +50,13 @@ const Histogram* MetricsRegistry::find_histogram(std::string_view name) const {
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, int64_t)>& fn) const {
+  for (const auto& [name, counter] : counters_) {
+    fn(name, counter->value());
+  }
+}
+
 std::string MetricsRegistry::ToJson(int indent) const {
   JsonWriter json(indent);
   json.BeginObject();
@@ -71,6 +78,7 @@ std::string MetricsRegistry::ToJson(int indent) const {
     json.Key("min").Value(histogram->stat().min());
     json.Key("max").Value(histogram->stat().max());
     json.Key("p50").Value(histogram->Quantile(0.5));
+    json.Key("p95").Value(histogram->Quantile(0.95));
     json.Key("p99").Value(histogram->Quantile(0.99));
     json.EndObject();
   }

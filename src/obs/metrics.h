@@ -15,6 +15,7 @@
 #define SRC_OBS_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -78,11 +79,15 @@ class MetricsRegistry {
   double gauge_value(std::string_view name) const;
   const Histogram* find_histogram(std::string_view name) const;
 
+  // Walks every counter in lexicographic name order (deterministic); the
+  // flight recorder uses this for its per-dump metric deltas.
+  void VisitCounters(const std::function<void(const std::string&, int64_t)>& fn) const;
+
   size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
 
   // Deterministic dump:
   //   {"counters":{...},"gauges":{...},
-  //    "histograms":{name:{count,mean,min,max,p50,p99}}}
+  //    "histograms":{name:{count,mean,min,max,p50,p95,p99}}}
   std::string ToJson(int indent = 0) const;
 
  private:

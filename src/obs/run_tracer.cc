@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/json_writer.h"
+#include "src/obs/metrics.h"
 
 namespace gemini {
 
@@ -50,23 +51,17 @@ const TraceAttr* TraceRecord::FindAttr(std::string_view key) const {
 }
 
 void RunTracer::Event(std::string name, std::string track, std::vector<TraceAttr> attrs) {
-  if (!enabled_) {
-    return;
-  }
   TraceRecord record;
   record.kind = TraceRecordKind::kInstant;
   record.name = std::move(name);
   record.track = std::move(track);
   record.start = sim_.now();
   record.attrs = std::move(attrs);
-  records_.push_back(std::move(record));
+  Emit(std::move(record));
 }
 
 void RunTracer::Span(std::string name, std::string track, TimeNs start, TimeNs end,
                      std::vector<TraceAttr> attrs) {
-  if (!enabled_) {
-    return;
-  }
   TraceRecord record;
   record.kind = TraceRecordKind::kSpan;
   record.name = std::move(name);
@@ -74,6 +69,26 @@ void RunTracer::Span(std::string name, std::string track, TimeNs start, TimeNs e
   record.start = start;
   record.duration = end - start;
   record.attrs = std::move(attrs);
+  Emit(std::move(record));
+}
+
+void RunTracer::Emit(TraceRecord record) {
+  // The sink sees every record, even ones the tracer itself will not keep:
+  // the flight recorder's bounded ring must stay current when the unbounded
+  // trace is off (soak runs) or full.
+  if (record_sink_) {
+    record_sink_(record);
+  }
+  if (!enabled_) {
+    return;
+  }
+  if (max_records_ > 0 && records_.size() >= max_records_) {
+    ++dropped_records_;
+    if (metrics_ != nullptr) {
+      metrics_->counter("tracer.dropped_records").Increment();
+    }
+    return;
+  }
   records_.push_back(std::move(record));
 }
 
@@ -154,20 +169,24 @@ std::string ChromeTraceJson(const std::vector<TraceRecord>& records) {
 
 std::string RunTracer::ToChromeTraceJson() const { return ChromeTraceJson(records_); }
 
+std::string TraceRecordJsonl(const TraceRecord& record) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("ts_ns").Value(record.start);
+  json.Key("dur_ns").Value(record.duration);
+  json.Key("kind").Value(TraceRecordKindName(record.kind));
+  json.Key("name").Value(record.name);
+  json.Key("track").Value(record.track);
+  json.Key("attrs");
+  AppendAttrs(json, record.attrs);
+  json.EndObject();
+  return json.str();
+}
+
 std::string RunTracer::ToJsonl() const {
   std::string out;
   for (const TraceRecord& record : records_) {
-    JsonWriter json;
-    json.BeginObject();
-    json.Key("ts_ns").Value(record.start);
-    json.Key("dur_ns").Value(record.duration);
-    json.Key("kind").Value(TraceRecordKindName(record.kind));
-    json.Key("name").Value(record.name);
-    json.Key("track").Value(record.track);
-    json.Key("attrs");
-    AppendAttrs(json, record.attrs);
-    json.EndObject();
-    out += json.str();
+    out += TraceRecordJsonl(record);
     out += '\n';
   }
   return out;

@@ -14,6 +14,8 @@
 #ifndef SRC_OBS_RUN_TRACER_H_
 #define SRC_OBS_RUN_TRACER_H_
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,6 +25,8 @@
 #include "src/sim/simulator.h"
 
 namespace gemini {
+
+class MetricsRegistry;
 
 // One attribute on a trace record. Numeric attributes keep their type so
 // exporters emit JSON numbers, not quoted strings.
@@ -67,6 +71,25 @@ class RunTracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  // Hard cap on stored records so soak runs cannot grow without bound.
+  // 0 = unlimited. Once full, *new* records are dropped (the stored prefix —
+  // and therefore every export — stays deterministic) and counted in both
+  // dropped_records() and the "tracer.dropped_records" counter when a metrics
+  // sink is attached. The record sink still fires for dropped records.
+  void set_max_records(size_t max_records) { max_records_ = max_records; }
+  size_t max_records() const { return max_records_; }
+  int64_t dropped_records() const { return dropped_records_; }
+
+  // Optional sink for "tracer.*" counters; may stay null.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  // Observer invoked for every record as it is emitted — even when the tracer
+  // is disabled or at its record cap. GeminiSystem wires the FlightRecorder's
+  // bounded ring here so post-mortem context survives capped/disabled runs.
+  void set_record_sink(std::function<void(const TraceRecord&)> sink) {
+    record_sink_ = std::move(sink);
+  }
+
   // Instant event stamped at the simulator's current time.
   void Event(std::string name, std::string track, std::vector<TraceAttr> attrs = {});
 
@@ -91,14 +114,25 @@ class RunTracer {
   Status WriteJsonl(const std::string& path) const;
 
  private:
+  // Runs the sink and stores the record unless disabled/capped.
+  void Emit(TraceRecord record);
+
   Simulator& sim_;
   bool enabled_ = true;
+  size_t max_records_ = 0;
+  int64_t dropped_records_ = 0;
+  MetricsRegistry* metrics_ = nullptr;
+  std::function<void(const TraceRecord&)> record_sink_;
   std::vector<TraceRecord> records_;
 };
 
 // Shared Chrome-trace serialization, used by RunTracer and by the iteration
 // timeline export in src/schedule/trace_export (the Algorithm-2 view).
 std::string ChromeTraceJson(const std::vector<TraceRecord>& records);
+
+// One compact JSON object for a single record (no trailing newline); the unit
+// of both RunTracer::ToJsonl and the FlightRecorder dump format.
+std::string TraceRecordJsonl(const TraceRecord& record);
 
 }  // namespace gemini
 

@@ -41,6 +41,7 @@ StatusOr<PartitionResult> PartitionCheckpoint(const PartitionParams& params) {
   GEMINI_RETURN_IF_ERROR(ValidateParams(params));
 
   PartitionResult result;
+  result.planned_span_cost.assign(params.idle_spans.size(), 0);
   if (params.num_remote_replicas == 0) {
     return result;  // Nothing to transmit (m == 1: local replica only).
   }
@@ -86,6 +87,7 @@ StatusOr<PartitionResult> PartitionCheckpoint(const PartitionParams& params) {
       result.chunks.push_back(ChunkAssignment{span, size, replica, offset});
       result.max_chunk_bytes = std::max(result.max_chunk_bytes, size);
       result.planned_transmission_time += cost;
+      result.planned_span_cost[static_cast<size_t>(span)] += cost;
       if (last_span) {
         final_span_used += cost;
       }
@@ -121,6 +123,7 @@ StatusOr<PartitionResult> PartitionOneChunkPerSpan(const PartitionParams& params
   GEMINI_RETURN_IF_ERROR(ValidateParams(params));
 
   PartitionResult result;
+  result.planned_span_cost.assign(params.idle_spans.size(), 0);
   if (params.num_remote_replicas == 0) {
     return result;
   }
@@ -139,6 +142,7 @@ StatusOr<PartitionResult> PartitionOneChunkPerSpan(const PartitionParams& params
     result.chunks.push_back(ChunkAssignment{span, size, replica, offset});
     result.max_chunk_bytes = std::max(result.max_chunk_bytes, size);
     result.planned_transmission_time += cost;
+    result.planned_span_cost[static_cast<size_t>(span)] += cost;
     if (last_span) {
       final_span_used += cost;
     }

@@ -56,6 +56,11 @@ struct PartitionResult {
   Bytes max_chunk_bytes = 0;
   // Planned transmission time summed over chunks (sum of f(size)).
   TimeNs planned_transmission_time = 0;
+  // Per-span planned cost: planned_span_cost[i] is the sum of f(size) over
+  // chunks assigned to idle_spans[i]. Indexed like PartitionParams::idle_spans;
+  // the interference auditor compares these against observed span lengths to
+  // attribute iteration-time inflation to specific chunks.
+  std::vector<TimeNs> planned_span_cost;
 };
 
 // Algorithm 2. Fails with kInvalidArgument on degenerate inputs (no spans,

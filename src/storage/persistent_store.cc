@@ -92,14 +92,31 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
       });
 }
 
+TimeNs PersistentStore::RetryBackoff(int attempt) const {
+  if (attempt <= 0) {
+    return 0;
+  }
+  TimeNs backoff = config_.retrieval_backoff_base;
+  for (int i = 1; i < attempt && backoff < config_.retrieval_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, config_.retrieval_backoff_cap);
+}
+
 TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
                                  std::function<void(StatusOr<Checkpoint>)> done) {
   if (metrics_ != nullptr) {
     metrics_->counter("persistent.retrievals").Increment();
   }
+  return TryRetrieve(owner_rank, iteration, /*attempt=*/0, std::move(done));
+}
+
+TimeNs PersistentStore::TryRetrieve(int owner_rank, int64_t iteration, int attempt,
+                                    std::function<void(StatusOr<Checkpoint>)> done) {
   const std::optional<Checkpoint> shard = Peek(owner_rank, iteration);
   if (!shard.has_value()) {
-    // Lookup miss costs only the request latency.
+    // A missing shard is permanent — retrying cannot make it appear. The
+    // lookup miss costs only the request latency.
     const TimeNs end = sim_.now() + config_.request_latency;
     sim_.ScheduleAt(end, [owner_rank, iteration, done = std::move(done)] {
       done(NotFoundError("persistent store has no shard for rank " + std::to_string(owner_rank) +
@@ -109,17 +126,105 @@ TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
   }
   return ScheduleTransfer(
       shard->logical_bytes,
-      [this, shard = *shard, owner_rank, iteration, done = std::move(done)]() mutable {
+      [this, shard = *shard, owner_rank, iteration, attempt, done = std::move(done)]() mutable {
+        // Mirrors the CPU-memory retry cascade: a failed or CRC-rejected
+        // attempt backs off exponentially and re-reads, up to the attempt
+        // cap; only then does the error surface to the caller.
+        auto retry = [this, owner_rank, iteration, attempt,
+                      &done](const Status& why) mutable {
+          if (attempt + 1 >= config_.retrieval_max_attempts) {
+            done(why);
+            return;
+          }
+          if (metrics_ != nullptr) {
+            metrics_->counter("persistent_store.retries").Increment();
+          }
+          GEMINI_LOG(kWarning) << "persistent retrieval attempt " << attempt + 1 << " for rank "
+                               << owner_rank << " at iteration " << iteration << " failed ("
+                               << why << "); retrying";
+          sim_.ScheduleAfter(RetryBackoff(attempt + 1),
+                             [this, owner_rank, iteration, attempt, done = std::move(done)] {
+                               TryRetrieve(owner_rank, iteration, attempt + 1, std::move(done));
+                             });
+        };
+        if (fault_hook_) {
+          const Status injected = fault_hook_(owner_rank, iteration, attempt);
+          if (!injected.ok()) {
+            retry(injected);
+            return;
+          }
+        }
+        StatusOr<Checkpoint> result = std::move(shard);
         const std::string path = ShardPath(owner_rank, iteration);
         if (!path.empty()) {
           // Read back through the serialized form so the CRC guards the
           // bytes actually restored.
-          StatusOr<Checkpoint> from_disk = ReadShardFile(path);
-          done(std::move(from_disk));
+          result = ReadShardFile(path);
+          if (!result.ok()) {
+            if (metrics_ != nullptr && result.status().code() == StatusCode::kDataLoss) {
+              metrics_->counter("persistent_store.crc_failures").Increment();
+            }
+            retry(result.status());
+            return;
+          }
+        }
+        if (!result->IntegrityOk()) {
+          if (metrics_ != nullptr) {
+            metrics_->counter("persistent_store.crc_failures").Increment();
+          }
+          retry(DataLossError("persistent shard for rank " + std::to_string(owner_rank) +
+                              " failed its CRC check"));
           return;
         }
-        done(std::move(shard));
+        done(std::move(result));
       });
+}
+
+Status PersistentStore::CorruptShard(int owner_rank, int64_t iteration, size_t bit_index) {
+  const auto by_iter = shards_.find(iteration);
+  if (by_iter == shards_.end()) {
+    return NotFoundError("no shards at that iteration");
+  }
+  const auto by_owner = by_iter->second.find(owner_rank);
+  if (by_owner == by_iter->second.end()) {
+    return NotFoundError("no durable shard for that rank");
+  }
+  Checkpoint& checkpoint = by_owner->second;
+  if (checkpoint.payload.empty()) {
+    return FailedPreconditionError("shard has no payload bytes");
+  }
+  const size_t payload_bytes = checkpoint.payload.size() * sizeof(float);
+  const size_t bit = bit_index % (payload_bytes * 8);
+  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.data());
+  bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+  const std::string path = ShardPath(owner_rank, iteration);
+  if (!path.empty()) {
+    // Flip the same bit inside the on-disk blob *in place* (the payload is
+    // the last section before the trailing stream CRC), so the file carries
+    // the corruption under its now-stale CRC instead of a clean re-serialize.
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out | std::ios::ate);
+    if (!file) {
+      return UnavailableError("cannot open shard file for corruption: " + path);
+    }
+    const auto file_size = static_cast<size_t>(file.tellg());
+    if (file_size < payload_bytes + sizeof(uint32_t)) {
+      return DataLossError("shard file too small to hold its payload: " + path);
+    }
+    const size_t offset = file_size - sizeof(uint32_t) - payload_bytes + bit / 8;
+    file.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ static_cast<char>(1u << (bit % 8)));
+    file.seekp(static_cast<std::streamoff>(offset));
+    file.write(&byte, 1);
+    if (!file) {
+      return DataLossError("shard file corruption write failed: " + path);
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("persistent_store.corruptions").Increment();
+  }
+  return Status::Ok();
 }
 
 int64_t PersistentStore::LatestCompleteIteration() const {

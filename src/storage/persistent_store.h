@@ -35,6 +35,14 @@ struct PersistentStoreConfig {
   // ("ckpt_<iteration>_<rank>.gmck") and retrieval re-reads and CRC-checks
   // them.
   std::string disk_dir;
+  // Retrieval retry cascade, mirroring the CPU-memory peer-retrieval path:
+  // per-shard attempt cap with capped exponential backoff between attempts,
+  // every attempt CRC-verifying the bytes it produced. Retries are counted in
+  // "persistent_store.retries", CRC rejections in
+  // "persistent_store.crc_failures".
+  int retrieval_max_attempts = 4;
+  TimeNs retrieval_backoff_base = Millis(100);
+  TimeNs retrieval_backoff_cap = Seconds(2);
 };
 
 class MetricsRegistry;
@@ -57,9 +65,21 @@ class PersistentStore {
   TimeNs Save(Checkpoint checkpoint, int expected_world_size, DoneCallback done);
 
   // Downloads a shard; `done` receives the checkpoint at the simulated
-  // completion time.
+  // completion time. Transient transfer failures (fault hook) and CRC
+  // rejections are retried internally up to `retrieval_max_attempts` with
+  // capped exponential backoff; `done` fires once, with the final outcome.
+  // Returns the completion time of the first attempt.
   TimeNs Retrieve(int owner_rank, int64_t iteration,
                   std::function<void(StatusOr<Checkpoint>)> done);
+
+  // Fault hook for tests: consulted once per retrieval attempt (after the
+  // transfer completes); a non-OK return fails that attempt.
+  using RetrievalFaultHook = std::function<Status(int owner_rank, int64_t iteration, int attempt)>;
+  void set_fault_hook(RetrievalFaultHook hook) { fault_hook_ = std::move(hook); }
+
+  // Flips one payload bit of a durable shard — in memory and, when disk
+  // backing is on, in its file — so tests can exercise the CRC cascade.
+  Status CorruptShard(int owner_rank, int64_t iteration, size_t bit_index);
 
   // Latest iteration for which all `world_size` shards are durable; -1 if
   // none.
@@ -86,10 +106,16 @@ class PersistentStore {
  private:
   // Shared-bandwidth FIFO: a transfer starts when the previous one finishes.
   TimeNs ScheduleTransfer(Bytes bytes, std::function<void()> at_completion);
+  // One attempt of the retrieval cascade.
+  TimeNs TryRetrieve(int owner_rank, int64_t iteration, int attempt,
+                     std::function<void(StatusOr<Checkpoint>)> done);
+  // Exponential backoff before attempt `attempt` (1-based), capped.
+  TimeNs RetryBackoff(int attempt) const;
 
   Simulator& sim_;
   PersistentStoreConfig config_;
   MetricsRegistry* metrics_ = nullptr;
+  RetrievalFaultHook fault_hook_;
   TimeNs busy_until_ = 0;
   Bytes bytes_written_ = 0;
   // iteration -> owner -> shard; complete-set tracking by expected world.

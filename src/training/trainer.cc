@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
 
 namespace gemini {
 namespace {
@@ -102,6 +103,11 @@ Status ShardedTrainer::RestoreAll(const std::vector<Checkpoint>& checkpoints) {
     if (iteration < iteration_) {
       metrics_->counter("trainer.rollback_iterations").Increment(iteration_ - iteration);
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Event("trainer_restore", "training",
+                   {TraceAttr::Int("from_iteration", iteration_),
+                    TraceAttr::Int("to_iteration", iteration)});
   }
   iteration_ = iteration;
   return Status::Ok();

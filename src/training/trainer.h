@@ -21,6 +21,7 @@
 namespace gemini {
 
 class MetricsRegistry;
+class RunTracer;
 
 class ShardedTrainer {
  public:
@@ -29,8 +30,10 @@ class ShardedTrainer {
   ShardedTrainer(const ModelConfig& model, int num_machines, int payload_elements,
                  uint64_t seed);
 
-  // Optional observability sink ("trainer.*" counters).
+  // Optional observability sinks: "trainer.*" counters, and restore/rollback
+  // instants on the trace timeline.
   void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  void set_tracer(RunTracer* tracer) { tracer_ = tracer; }
 
   int num_machines() const { return num_machines_; }
   int64_t iteration() const { return iteration_; }
@@ -62,6 +65,7 @@ class ShardedTrainer {
   uint64_t seed_;
   int64_t iteration_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  RunTracer* tracer_ = nullptr;
   std::vector<std::vector<float>> shards_;
 };
 

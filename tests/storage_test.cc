@@ -5,6 +5,7 @@
 #include "src/cluster/instance_spec.h"
 #include "src/cluster/machine.h"
 #include "src/common/rng.h"
+#include "src/obs/metrics.h"
 #include "src/storage/cpu_store.h"
 #include "src/storage/persistent_store.h"
 #include "src/storage/serializer.h"
@@ -366,6 +367,109 @@ TEST_F(DiskBackedPersistentStoreTest, DeletedFileSurfacesAsNotFound) {
   store_->Retrieve(1, 7, [&](StatusOr<Checkpoint> out) { result = out.status(); });
   sim_.Run();
   EXPECT_EQ(result.code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// PersistentStore retrieval retry cascade
+// ---------------------------------------------------------------------------
+
+class PersistentRetryTest : public ::testing::Test {
+ protected:
+  PersistentRetryTest() {
+    PersistentStoreConfig config;
+    config.aggregate_bandwidth = 1e9;
+    config.request_latency = Millis(1);
+    config.retrieval_max_attempts = 4;
+    config.retrieval_backoff_base = Millis(100);
+    config.retrieval_backoff_cap = Millis(400);
+    store_ = std::make_unique<PersistentStore>(sim_, config);
+    store_->set_metrics(&metrics_);
+  }
+
+  Simulator sim_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<PersistentStore> store_;
+};
+
+TEST_F(PersistentRetryTest, TransientFaultsRetryThenSucceed) {
+  const Checkpoint original = MakeCheckpoint(0, 3, 1'000'000, 32);
+  store_->SeedImmediate(original, 1);
+  // First two attempts fail; the third reads clean bytes.
+  store_->set_fault_hook([](int, int64_t, int attempt) {
+    return attempt < 2 ? UnavailableError("injected link flap") : Status::Ok();
+  });
+  std::optional<Checkpoint> fetched;
+  store_->Retrieve(0, 3, [&](StatusOr<Checkpoint> result) {
+    ASSERT_TRUE(result.ok()) << result.status();
+    fetched = std::move(result).value();
+  });
+  sim_.Run();
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(*fetched, original);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.retries"), 2);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.crc_failures"), 0);
+}
+
+TEST_F(PersistentRetryTest, RetriesBackOffExponentiallyUpToCap) {
+  store_->SeedImmediate(MakeCheckpoint(0, 3, 1'000'000, 32), 1);
+  std::vector<TimeNs> attempt_times;
+  store_->set_fault_hook([&](int, int64_t, int) {
+    attempt_times.push_back(sim_.now());
+    return UnavailableError("always down");
+  });
+  Status result = Status::Ok();
+  store_->Retrieve(0, 3, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(attempt_times.size(), 4u);  // Attempt cap honoured.
+  // Gaps: backoff (100ms, 200ms, 400ms-capped) plus one re-read each.
+  const TimeNs reread = Millis(1) + Millis(1);  // latency + 1MB at 1 GB/s.
+  EXPECT_EQ(attempt_times[1] - attempt_times[0], Millis(100) + reread);
+  EXPECT_EQ(attempt_times[2] - attempt_times[1], Millis(200) + reread);
+  EXPECT_EQ(attempt_times[3] - attempt_times[2], Millis(400) + reread);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.retries"), 3);
+}
+
+TEST_F(PersistentRetryTest, CorruptShardFailsCrcAcrossAllAttempts) {
+  Checkpoint stamped = MakeCheckpoint(1, 5, 1'000'000, 64);
+  stamped.StampPayloadCrc();
+  store_->SeedImmediate(std::move(stamped), 1);
+  ASSERT_TRUE(store_->CorruptShard(1, 5, /*bit_index=*/13).ok());
+  Status result = Status::Ok();
+  store_->Retrieve(1, 5, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  // The flipped bit never heals, so every attempt trips the CRC check and
+  // the final status is data loss.
+  EXPECT_EQ(result.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.crc_failures"), 4);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.retries"), 3);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.corruptions"), 1);
+}
+
+TEST_F(PersistentRetryTest, MissingShardIsPermanentAndNeverRetried) {
+  Status result = Status::Ok();
+  store_->Retrieve(0, 99, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  EXPECT_EQ(result.code(), StatusCode::kNotFound);
+  EXPECT_EQ(metrics_.counter_value("persistent_store.retries"), 0);
+}
+
+TEST_F(DiskBackedPersistentStoreTest, CorruptShardRewritesDiskAndRetriesExhaust) {
+  MetricsRegistry metrics;
+  store_->set_metrics(&metrics);
+  Checkpoint stamped = MakeCheckpoint(2, 8, 1'000'000, 64);
+  stamped.StampPayloadCrc();
+  store_->Save(std::move(stamped), 1, [](Status) {});
+  sim_.Run();
+  ASSERT_TRUE(store_->CorruptShard(2, 8, /*bit_index=*/7).ok());
+  Status result = Status::Ok();
+  store_->Retrieve(2, 8, [&](StatusOr<Checkpoint> out) { result = out.status(); });
+  sim_.Run();
+  // The disk file carries the stale CRC stamp over flipped payload bytes, so
+  // the deserialize path rejects it on every attempt.
+  EXPECT_EQ(result.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(metrics.counter_value("persistent_store.crc_failures"), 4);
+  EXPECT_EQ(metrics.counter_value("persistent_store.retries"), 3);
 }
 
 TEST_F(PersistentStoreTest, TransferCostMatchesMtNlgSanityCheck) {
