@@ -97,7 +97,7 @@ void BM_SerializeCheckpoint(benchmark::State& state) {
   checkpoint.owner_rank = 0;
   checkpoint.iteration = 1;
   checkpoint.logical_bytes = GiB(75);
-  checkpoint.payload.resize(static_cast<size_t>(state.range(0)), 1.5f);
+  checkpoint.payload = std::vector<float>(static_cast<size_t>(state.range(0)), 1.5f);
   for (auto _ : state) {
     benchmark::DoNotOptimize(SerializeCheckpoint(checkpoint));
   }
@@ -111,7 +111,7 @@ void BM_DeserializeCheckpoint(benchmark::State& state) {
   checkpoint.owner_rank = 0;
   checkpoint.iteration = 1;
   checkpoint.logical_bytes = GiB(75);
-  checkpoint.payload.resize(262144, 1.5f);
+  checkpoint.payload = std::vector<float>(262144, 1.5f);
   const std::vector<uint8_t> blob = SerializeCheckpoint(checkpoint);
   for (auto _ : state) {
     benchmark::DoNotOptimize(DeserializeCheckpoint(blob));

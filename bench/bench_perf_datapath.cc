@@ -1,0 +1,180 @@
+// Wall-clock microbenchmark of the steady-state checkpoint data path.
+//
+// GEMINI's premise is that checkpointing every iteration is affordable
+// because the data path is cheap (Section 5, Algorithm 2). This bench
+// measures what the *harness* pays per iteration for the real-bytes plane —
+// capture (MakeCheckpoint + CRC stamp), commit into every holder's
+// double-buffered CPU store, and one CRC-verified recovery read — at three
+// payload sizes, plus raw CRC-32 throughput. Unlike the figure benches these
+// numbers are host wall-clock, not simulated time: they track harness speed
+// across commits (EXPERIMENTS.md records the trajectory), not modeled
+// behaviour.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/cluster/machine.h"
+#include "src/common/crc32.h"
+#include "src/common/rng.h"
+#include "src/obs/metrics.h"
+#include "src/storage/cpu_store.h"
+#include "src/training/trainer.h"
+
+namespace gemini {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// CRC throughput over a buffer large enough to defeat caches of the lookup
+// tables' surroundings; repeated until the timer resolves well.
+double CrcThroughputMbPerSec(uint32_t (*crc_fn)(uint32_t, const void*, size_t)) {
+  constexpr size_t kBufferBytes = 8 << 20;
+  std::vector<uint8_t> buffer(kBufferBytes);
+  Rng rng(0x63726331ULL);
+  for (auto& byte : buffer) {
+    byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  // Warm the tables (and fault in the buffer) before timing.
+  uint32_t sink = crc_fn(0, buffer.data(), buffer.size());
+  const auto start = Clock::now();
+  size_t passes = 0;
+  double elapsed = 0.0;
+  do {
+    sink = crc_fn(sink, buffer.data(), buffer.size());
+    ++passes;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.25);
+  // Keep the checksum observable so the loop cannot be dropped.
+  volatile uint32_t keep = sink;
+  (void)keep;
+  return static_cast<double>(passes) * static_cast<double>(kBufferBytes) / elapsed / 1e6;
+}
+
+// One steady-state iteration of the harness data plane: step, capture every
+// rank's snapshot, commit it to its m holders, and serve one CRC-verified
+// recovery read — the per-iteration work GeminiSystem does outside the
+// simulated clock.
+struct DatapathFixture {
+  static constexpr int kMachines = 8;
+  static constexpr int kReplicas = 2;
+
+  explicit DatapathFixture(int payload_elements)
+      : trainer(Gpt2_10B(), kMachines, payload_elements, /*seed=*/7) {
+    trainer.set_metrics(&metrics);
+    const Bytes replica = trainer.checkpoint_bytes_per_machine();
+    machines.reserve(kMachines);
+    for (int rank = 0; rank < kMachines; ++rank) {
+      machines.emplace_back(rank, /*incarnation=*/0, P4d24xlarge());
+    }
+    for (int rank = 0; rank < kMachines; ++rank) {
+      stores.push_back(std::make_unique<CpuCheckpointStore>(machines[static_cast<size_t>(rank)]));
+      stores.back()->set_metrics(&metrics);
+    }
+    for (int owner = 0; owner < kMachines; ++owner) {
+      for (const int holder : Holders(owner)) {
+        const Status hosted = stores[static_cast<size_t>(holder)]->HostOwner(owner, replica);
+        if (!hosted.ok()) {
+          std::fprintf(stderr, "HostOwner failed: %s\n", hosted.ToString().c_str());
+          std::abort();
+        }
+      }
+    }
+  }
+
+  // Ring placement: the owner itself plus the next m-1 ranks.
+  static std::vector<int> Holders(int owner) {
+    std::vector<int> holders;
+    for (int r = 0; r < kReplicas; ++r) {
+      holders.push_back((owner + r) % kMachines);
+    }
+    return holders;
+  }
+
+  void RunIteration() {
+    trainer.Step();
+    for (int owner = 0; owner < kMachines; ++owner) {
+      const Checkpoint snapshot = trainer.MakeCheckpoint(owner);
+      for (const int holder : Holders(owner)) {
+        const Status committed = stores[static_cast<size_t>(holder)]->WriteComplete(snapshot);
+        if (!committed.ok()) {
+          std::fprintf(stderr, "commit failed: %s\n", committed.ToString().c_str());
+          std::abort();
+        }
+      }
+    }
+    // Steady-state verify: the recovery path re-CRCs the replica it would
+    // serve (LatestVerified), so this cost is on the per-iteration budget of
+    // anything that probes replica health continuously.
+    for (int owner = 0; owner < kMachines; ++owner) {
+      if (!stores[static_cast<size_t>(owner)]->LatestVerified(owner).has_value()) {
+        std::fprintf(stderr, "steady-state replica failed verification\n");
+        std::abort();
+      }
+    }
+  }
+
+  MetricsRegistry metrics;
+  ShardedTrainer trainer;
+  std::vector<Machine> machines;
+  std::vector<std::unique_ptr<CpuCheckpointStore>> stores;
+};
+
+double MicrosPerIteration(int payload_elements, int iterations) {
+  DatapathFixture fixture(payload_elements);
+  for (int i = 0; i < 3; ++i) {
+    fixture.RunIteration();  // Warmup: fault in shards, stores, CRC tables.
+  }
+  const auto start = Clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    fixture.RunIteration();
+  }
+  return SecondsSince(start) * 1e6 / iterations;
+}
+
+}  // namespace
+}  // namespace gemini
+
+int main() {
+  using gemini::bench::BenchReporter;
+  BenchReporter reporter("perf_datapath", "Checkpoint data-path wall-clock",
+                         "harness perf trajectory (Section 5 data path)");
+
+  const double crc_mb_s = gemini::CrcThroughputMbPerSec(&gemini::Crc32Update);
+  const double crc_bytewise_mb_s =
+      gemini::CrcThroughputMbPerSec(&gemini::Crc32UpdateBytewise);
+  const double crc_speedup = crc_bytewise_mb_s > 0.0 ? crc_mb_s / crc_bytewise_mb_s : 0.0;
+  reporter.Metric("crc.throughput_mb_s", crc_mb_s);
+  reporter.Metric("crc.bytewise_mb_s", crc_bytewise_mb_s);
+  reporter.Metric("crc.speedup_vs_bytewise", crc_speedup);
+
+  struct SizePoint {
+    int elements;
+    int iterations;
+  };
+  const SizePoint points[] = {{1024, 400}, {65536, 80}, {1048576, 12}};
+
+  gemini::TablePrinter table({"payload floats", "payload KiB", "us/iteration"});
+  double worst_us = 0.0;
+  for (const SizePoint& point : points) {
+    const double us = gemini::MicrosPerIteration(point.elements, point.iterations);
+    worst_us = std::max(worst_us, us);
+    table.AddRow({std::to_string(point.elements),
+                  std::to_string(point.elements * sizeof(float) / 1024),
+                  gemini::TablePrinter::Fmt(us, 1)});
+    reporter.Metric("datapath.payload_" + std::to_string(point.elements) + ".us_per_iteration",
+                    us);
+  }
+  table.Print(std::cout);
+
+  reporter.ShapeCheck(
+      crc_speedup >= 3.0 && worst_us > 0.0,
+      "slice-by-8 CRC is >= 3x the byte-at-a-time reference, and the capture->commit->verify "
+      "data path completes with measurable per-iteration wall-clock at all payload sizes");
+  return reporter.Finish();
+}

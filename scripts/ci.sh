@@ -1,10 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verification plus a sanitizer pass.
+# CI entry point: tier-1 verification plus Release and sanitizer passes.
 #
-#   scripts/ci.sh            # plain build + full ctest, then ASan+UBSan ctest
+#   scripts/ci.sh            # plain build + full ctest, then Release (-O2)
+#                            # build + ctest, then ASan+UBSan ctest
 #   scripts/ci.sh --fast     # plain build + full ctest only
 #
-# The sanitizer pass builds into a separate tree (build-asan/) with
+# The Release pass builds into a separate tree (build-release/) with
+# -DCMAKE_BUILD_TYPE=Release: the perf-labelled benches gate their speedup
+# shape checks there, at the optimization level the claims are made for, and
+# an -O2-only miscompile or assert-hidden bug surfaces before merge. The
+# sanitizer pass builds into build-asan/ with
 # -DGEMINI_SANITIZE=address,undefined so the instrumented binaries never mix
 # with the plain ones. TSan is available via -DGEMINI_SANITIZE=thread but is
 # not part of the default CI matrix (the simulator is single-threaded).
@@ -25,9 +30,16 @@ echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
 if [[ "$fast" == "1" ]]; then
-  echo "==> done (fast mode: sanitizer pass skipped)"
+  echo "==> done (fast mode: Release and sanitizer passes skipped)"
   exit 0
 fi
+
+echo "==> release pass: configure + build (-DCMAKE_BUILD_TYPE=Release)"
+cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-release -j
+
+echo "==> release pass: ctest"
+(cd build-release && ctest --output-on-failure -j"$(nproc)")
 
 echo "==> sanitizer pass: configure + build (address,undefined)"
 cmake -B build-asan -S . -DGEMINI_SANITIZE=address,undefined >/dev/null
@@ -51,5 +63,11 @@ if ! grep -q '"stable.tracer_dropped_records": 0' \
   echo "FAIL: uncapped tracer dropped records during the auditor smoke run" >&2
   exit 1
 fi
+
+# Smoke-run the data-path bench from the Release tree: its shape check gates
+# the slice-by-8 CRC speedup (>= 3x over the byte-wise reference) and a
+# nonzero capture->replicate->commit wall-clock at every payload size.
+echo "==> bench smoke: bench_perf_datapath (Release)"
+./build-release/bench/bench_perf_datapath
 
 echo "==> done"

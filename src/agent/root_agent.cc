@@ -19,6 +19,19 @@ RootAgent::RootAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, int r
 
 RootAgent::~RootAgent() = default;
 
+void RootAgent::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    root_scans_counter_ = &metrics->counter("agent.root_scans");
+    heartbeat_misses_counter_ = &metrics->counter("agent.heartbeat_misses");
+    failures_reported_counter_ = &metrics->counter("agent.failures_reported");
+  } else {
+    root_scans_counter_ = nullptr;
+    heartbeat_misses_counter_ = nullptr;
+    failures_reported_counter_ = nullptr;
+  }
+}
+
 void RootAgent::Start() {
   started_at_ = sim_.now();
   scan_timer_->Start();
@@ -55,8 +68,8 @@ void RootAgent::OnScanTick() {
     return;
   }
 
-  if (metrics_ != nullptr) {
-    metrics_->counter("agent.root_scans").Increment();
+  if (root_scans_counter_ != nullptr) {
+    root_scans_counter_->Increment();
   }
   const std::map<std::string, KvEntry> health = kv_.List(kHealthKeyPrefix);
   std::vector<int> hardware_failed;
@@ -68,8 +81,8 @@ void RootAgent::OnScanTick() {
     const auto it = health.find(kHealthKeyPrefix + std::to_string(rank));
     if (it == health.end()) {
       // Lease expired: the machine stopped heartbeating => hardware failure.
-      if (metrics_ != nullptr) {
-        metrics_->counter("agent.heartbeat_misses").Increment();
+      if (heartbeat_misses_counter_ != nullptr) {
+        heartbeat_misses_counter_->Increment();
       }
       hardware_failed.push_back(rank);
     } else if (it->second.value == kStatusProcessDown) {
@@ -89,8 +102,8 @@ void RootAgent::OnScanTick() {
     report.detected_at = sim_.now();
     GEMINI_LOG(kInfo) << "root agent: detected hardware failure on " << hardware_failed.size()
                       << " machine(s) at " << FormatDuration(sim_.now());
-    if (metrics_ != nullptr) {
-      metrics_->counter("agent.failures_reported").Increment();
+    if (failures_reported_counter_ != nullptr) {
+      failures_reported_counter_->Increment();
     }
     on_failure_(report);
     return;
@@ -105,8 +118,8 @@ void RootAgent::OnScanTick() {
     report.detected_at = sim_.now();
     GEMINI_LOG(kInfo) << "root agent: detected software failure on " << software_failed.size()
                       << " machine(s) at " << FormatDuration(sim_.now());
-    if (metrics_ != nullptr) {
-      metrics_->counter("agent.failures_reported").Increment();
+    if (failures_reported_counter_ != nullptr) {
+      failures_reported_counter_->Increment();
     }
     on_failure_(report);
   }

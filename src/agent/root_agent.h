@@ -57,8 +57,10 @@ class RootAgent {
   // Claims the root-leadership key (called at startup and after promotion).
   void ClaimLeadership(LeaseId lease);
 
-  // Optional sink for "agent.*" counters; may stay null.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional sink for "agent.*" counters; may stay null. Counter handles are
+  // resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h) — the scan counter fires every scan period.
+  void set_metrics(MetricsRegistry* metrics);
 
  private:
   void OnScanTick();
@@ -71,6 +73,10 @@ class RootAgent {
   std::function<void(const FailureReport&)> on_failure_;
   std::unique_ptr<RepeatingTimer> scan_timer_;
   MetricsRegistry* metrics_ = nullptr;
+  // Hot-path metric handles (resolved once in set_metrics).
+  Counter* root_scans_counter_ = nullptr;
+  Counter* heartbeat_misses_counter_ = nullptr;
+  Counter* failures_reported_counter_ = nullptr;
   std::set<int> handled_;
   bool paused_ = false;
   TimeNs grace_until_ = 0;

@@ -17,6 +17,25 @@ WorkerAgent::WorkerAgent(Simulator& sim, Cluster& cluster, KvStoreCluster& kv, i
 
 WorkerAgent::~WorkerAgent() = default;
 
+void WorkerAgent::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    lease_acquired_counter_ = &metrics->counter("agent.lease_acquired");
+    publish_failures_counter_ = &metrics->counter("agent.publish_failures");
+    publish_retries_counter_ = &metrics->counter("agent.publish_retries");
+    process_down_counter_ = &metrics->counter("agent.process_down_reports");
+    keepalives_counter_ = &metrics->counter("agent.keepalives");
+    root_campaigns_counter_ = &metrics->counter("agent.root_campaigns");
+  } else {
+    lease_acquired_counter_ = nullptr;
+    publish_failures_counter_ = nullptr;
+    publish_retries_counter_ = nullptr;
+    process_down_counter_ = nullptr;
+    keepalives_counter_ = nullptr;
+    root_campaigns_counter_ = nullptr;
+  }
+}
+
 void WorkerAgent::Start() {
   if (started_) {
     return;
@@ -48,8 +67,8 @@ void WorkerAgent::AcquireLeaseAndPublish() {
       return;
     }
     lease_ = *lease;
-    if (metrics_ != nullptr) {
-      metrics_->counter("agent.lease_acquired").Increment();
+    if (lease_acquired_counter_ != nullptr) {
+      lease_acquired_counter_->Increment();
     }
     PublishStatus(last_status_);
   });
@@ -66,8 +85,8 @@ void WorkerAgent::PublishStatus(const std::string& status) {
       // never lands means the root agent never starts recovery. Count it and
       // retry on the next keepalive tick.
       publish_retry_pending_ = true;
-      if (metrics_ != nullptr) {
-        metrics_->counter("agent.publish_failures").Increment();
+      if (publish_failures_counter_ != nullptr) {
+        publish_failures_counter_->Increment();
       }
       if (tracer_ != nullptr) {
         tracer_->Event("agent_publish_failed", "agent",
@@ -82,8 +101,8 @@ void WorkerAgent::PublishStatus(const std::string& status) {
 }
 
 void WorkerAgent::ReportProcessDown() {
-  if (metrics_ != nullptr) {
-    metrics_->counter("agent.process_down_reports").Increment();
+  if (process_down_counter_ != nullptr) {
+    process_down_counter_->Increment();
   }
   PublishStatus(kStatusProcessDown);
 }
@@ -100,8 +119,8 @@ void WorkerAgent::OnKeepAliveTick() {
     AcquireLeaseAndPublish();
     return;
   }
-  if (metrics_ != nullptr) {
-    metrics_->counter("agent.keepalives").Increment();
+  if (keepalives_counter_ != nullptr) {
+    keepalives_counter_->Increment();
   }
   kv_.LeaseKeepAlive(lease_, [this](Status status) {
     if (!status.ok() && started_ && machine_ok()) {
@@ -110,8 +129,8 @@ void WorkerAgent::OnKeepAliveTick() {
       return;
     }
     if (publish_retry_pending_ && started_ && machine_ok()) {
-      if (metrics_ != nullptr) {
-        metrics_->counter("agent.publish_retries").Increment();
+      if (publish_retries_counter_ != nullptr) {
+        publish_retries_counter_->Increment();
       }
       if (tracer_ != nullptr) {
         tracer_->Event("agent_publish_retry", "agent", {TraceAttr::Int("rank", rank_)});
@@ -134,8 +153,8 @@ void WorkerAgent::OnRootWatchTick() {
   }
   // Root key expired: campaign. The key is attached to our health lease so a
   // root that later dies is detected the same way.
-  if (metrics_ != nullptr) {
-    metrics_->counter("agent.root_campaigns").Increment();
+  if (root_campaigns_counter_ != nullptr) {
+    root_campaigns_counter_->Increment();
   }
   kv_.PutIfAbsent(kRootKey, std::to_string(rank_), lease_, [this](Status status) {
     if (!status.ok()) {

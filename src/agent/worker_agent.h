@@ -21,6 +21,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 class RunTracer;
 
@@ -60,8 +61,11 @@ class WorkerAgent {
     on_promoted_ = std::move(callback);
   }
 
-  // Optional sink for "agent.*" counters; may stay null.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional sink for "agent.*" counters; may stay null. Counter handles are
+  // resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h) — the keepalive counter fires every few simulated
+  // seconds for the whole run.
+  void set_metrics(MetricsRegistry* metrics);
   // Optional trace sink: publish failures/retries become "agent" track
   // instants (the flight recorder's pre-failure context); may stay null.
   void set_tracer(RunTracer* tracer) { tracer_ = tracer; }
@@ -91,6 +95,13 @@ class WorkerAgent {
   std::function<void()> on_promoted_;
   MetricsRegistry* metrics_ = nullptr;
   RunTracer* tracer_ = nullptr;
+  // Hot-path metric handles (resolved once in set_metrics).
+  Counter* lease_acquired_counter_ = nullptr;
+  Counter* publish_failures_counter_ = nullptr;
+  Counter* publish_retries_counter_ = nullptr;
+  Counter* process_down_counter_ = nullptr;
+  Counter* keepalives_counter_ = nullptr;
+  Counter* root_campaigns_counter_ = nullptr;
 };
 
 }  // namespace gemini

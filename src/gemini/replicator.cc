@@ -10,14 +10,38 @@
 namespace gemini {
 namespace {
 
+// Assembly buffers recycled across replication passes (double-buffer aware:
+// a buffer still pinned by a store's completed slot is never handed out).
+// The simulator is single-threaded, so one process-wide pool is safe; callers
+// that want isolation (tests asserting recycling) pass their own via
+// ReplicatorConfig::pool.
+PayloadPool& DefaultAssemblyPool() {
+  static PayloadPool pool;
+  return pool;
+}
+
 // Shared completion state across all streams of one snapshot.
 struct Outcome {
   ReplicationOutcome result;
   MetricsRegistry* metrics = nullptr;
   InterferenceAuditor* auditor = nullptr;
+  // Hot-path metric handles, resolved once per replication pass — chunk
+  // completions must not pay a string-keyed map lookup each.
+  Counter* chunks_transferred_counter = nullptr;
+  Counter* bytes_replicated_counter = nullptr;
+  Counter* commits_counter = nullptr;
   int pending_streams = 0;
   bool failed = false;
   std::function<void(ReplicationOutcome)> done;
+
+  void ResolveMetricHandles() {
+    if (metrics == nullptr) {
+      return;
+    }
+    chunks_transferred_counter = &metrics->counter("replicator.chunks_transferred");
+    bytes_replicated_counter = &metrics->counter("replicator.bytes_replicated");
+    commits_counter = &metrics->counter("replicator.commits");
+  }
 
   void StreamFinished(TimeNs at) {
     result.committed_at = std::max(result.committed_at, at);
@@ -41,7 +65,7 @@ struct Stream : std::enable_shared_from_this<Stream> {
   Cluster* cluster = nullptr;
   std::shared_ptr<Outcome> outcome;
   CpuCheckpointStore* store = nullptr;
-  Checkpoint snapshot;  // Owner's full checkpoint (payload sliced per chunk).
+  Checkpoint snapshot;  // Owner's full checkpoint (payload shared, not copied).
   int source = -1;      // Fabric endpoint the bytes come from (the owner for
                         // foreground replication, any holder for re-protection).
   int dest = -1;
@@ -53,7 +77,11 @@ struct Stream : std::enable_shared_from_this<Stream> {
   TimeNs alpha = 0;
   size_t next_send = 0;
   size_t committed_chunks = 0;
-  std::vector<float> assembled;
+  // Received-side assembly target, leased from the pool for this stream's
+  // lifetime and frozen into the committed checkpoint.
+  std::shared_ptr<std::vector<float>> assembled;
+  // Elements written through SliceFor; must tile the payload exactly.
+  size_t assembled_elements = 0;
 
   // True when a write-path error just means a newer checkpoint landed first.
   bool Superseded() const {
@@ -61,15 +89,29 @@ struct Stream : std::enable_shared_from_this<Stream> {
            store->LatestIteration(snapshot.owner_rank) >= snapshot.iteration;
   }
 
-  // Payload slice [begin, end) corresponding to chunk k's byte range.
+  // Payload slice [begin, end) corresponding to chunk k's byte range. Exact
+  // integer arithmetic: element i covers logical bytes [i*total/count,
+  // (i+1)*total/count), so floor(offset*count/total) maps a byte offset to
+  // its element. Because each stream's chunk offsets are contiguous
+  // (offset_{k+1} = offset_k + bytes_k, covering [0, total)), chunk k's end
+  // equals chunk k+1's begin and the slices tile the payload with no overlap
+  // or gap — the double-rounded version this replaces could do both.
   std::pair<size_t, size_t> SliceFor(const ChunkAssignment& chunk) const {
-    const double total = static_cast<double>(snapshot.logical_bytes);
-    const double count = static_cast<double>(snapshot.payload.size());
-    const size_t begin = static_cast<size_t>(static_cast<double>(chunk.offset) / total * count);
-    const size_t end = chunk.offset + chunk.bytes >= snapshot.logical_bytes
-                           ? snapshot.payload.size()
-                           : static_cast<size_t>(
-                                 static_cast<double>(chunk.offset + chunk.bytes) / total * count);
+    const auto total = static_cast<uint64_t>(snapshot.logical_bytes);
+    const auto count = static_cast<uint64_t>(snapshot.payload.size());
+    if (total == 0 || count == 0) {
+      return {0, 0};
+    }
+    assert(chunk.offset >= 0 && chunk.bytes >= 0 &&
+           chunk.offset + chunk.bytes <= snapshot.logical_bytes);
+    // 128-bit intermediate: offset*count can exceed 2^63 for TiB-scale
+    // logical sizes with large test payloads.
+    using U128 = unsigned __int128;
+    const auto begin =
+        static_cast<size_t>(static_cast<U128>(chunk.offset) * count / total);
+    const auto end = static_cast<size_t>(
+        static_cast<U128>(chunk.offset + chunk.bytes) * count / total);
+    assert(begin <= end && end <= count);
     return {begin, end};
   }
 
@@ -89,10 +131,9 @@ struct Stream : std::enable_shared_from_this<Stream> {
             return;
           }
           ++self->outcome->result.chunks_transferred;
-          if (self->outcome->metrics != nullptr) {
-            self->outcome->metrics->counter("replicator.chunks_transferred").Increment();
-            self->outcome->metrics->counter("replicator.bytes_replicated")
-                .Increment(chunk.bytes);
+          if (self->outcome->chunks_transferred_counter != nullptr) {
+            self->outcome->chunks_transferred_counter->Increment();
+            self->outcome->bytes_replicated_counter->Increment(chunk.bytes);
           }
           if (self->outcome->auditor != nullptr) {
             self->outcome->auditor->NoteBackgroundTransfer(chunk.span_index, chunk.bytes,
@@ -128,10 +169,15 @@ struct Stream : std::enable_shared_from_this<Stream> {
     const auto [begin, end] = SliceFor(chunk);
     std::copy(snapshot.payload.begin() + static_cast<std::ptrdiff_t>(begin),
               snapshot.payload.begin() + static_cast<std::ptrdiff_t>(end),
-              assembled.begin() + static_cast<std::ptrdiff_t>(begin));
+              assembled->begin() + static_cast<std::ptrdiff_t>(begin));
+    assembled_elements += end - begin;
     if (++committed_chunks == chunks.size()) {
-      Checkpoint received = snapshot;
-      received.payload = assembled;
+      // The chunk slices must have tiled the payload exactly — a mis-rounded
+      // slice map would commit a replica that differs from the source.
+      assert(assembled_elements == snapshot.payload.size());
+      Checkpoint received = snapshot;  // O(1): metadata + shared payload ref.
+      received.payload =
+          PayloadRef(std::shared_ptr<const std::vector<float>>(std::move(assembled)));
       const Status committed = store->CommitWrite(std::move(received));
       if (!committed.ok()) {
         if (Superseded()) {
@@ -141,8 +187,8 @@ struct Stream : std::enable_shared_from_this<Stream> {
         outcome->Fail(committed);
         return;
       }
-      if (outcome->metrics != nullptr) {
-        outcome->metrics->counter("replicator.commits").Increment();
+      if (outcome->commits_counter != nullptr) {
+        outcome->commits_counter->Increment();
       }
       outcome->StreamFinished(cluster->sim().now());
       return;
@@ -162,9 +208,11 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
   assert(static_cast<int>(stores.size()) == cluster.size());
   assert(static_cast<int>(snapshots.size()) == cluster.size());
 
+  PayloadPool& pool = config.pool != nullptr ? *config.pool : DefaultAssemblyPool();
   auto outcome = std::make_shared<Outcome>();
   outcome->metrics = config.metrics;
   outcome->auditor = config.auditor;
+  outcome->ResolveMetricHandles();
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;
@@ -183,11 +231,11 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
       stream->cluster = &cluster;
       stream->outcome = outcome;
       stream->store = stores[static_cast<size_t>(dest)];
-      stream->snapshot = snapshot;
+      stream->snapshot = snapshot;  // Shares the payload buffer.
       stream->source = owner;
       stream->dest = dest;
       stream->alpha = config.comm_alpha;
-      stream->assembled.assign(snapshot.payload.size(), 0.0f);
+      stream->assembled = pool.Acquire(snapshot.payload.size());
       for (const ChunkAssignment& chunk : chunks) {
         if (chunk.replica_index == static_cast<int>(replica)) {
           stream->chunks.push_back(chunk);
@@ -234,9 +282,11 @@ void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
                        std::function<void(ReplicationOutcome)> done) {
   assert(static_cast<int>(stores.size()) == cluster.size());
 
+  PayloadPool& pool = config.pool != nullptr ? *config.pool : DefaultAssemblyPool();
   auto outcome = std::make_shared<Outcome>();
   outcome->metrics = config.metrics;
   outcome->auditor = config.auditor;
+  outcome->ResolveMetricHandles();
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;
@@ -275,12 +325,12 @@ void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
       stream->cluster = &cluster;
       stream->outcome = outcome;
       stream->store = stores[static_cast<size_t>(target)];
-      stream->snapshot = *snapshot;
+      stream->snapshot = *snapshot;  // Shares the payload buffer.
       stream->source = source;
       stream->dest = target;
       stream->tolerate_supersede = true;
       stream->alpha = config.comm_alpha;
-      stream->assembled.assign(snapshot->payload.size(), 0.0f);
+      stream->assembled = pool.Acquire(snapshot->payload.size());
       const Bytes total = snapshot->logical_bytes;
       const Bytes step = chunk_bytes > 0 ? std::min(chunk_bytes, total) : total;
       for (Bytes offset = 0; offset < total; offset += step) {

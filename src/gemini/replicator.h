@@ -40,6 +40,9 @@ struct ReplicatorConfig {
   // Optional interference auditor notified of every completed chunk transfer
   // (the background traffic it attributes inflation to); may stay null.
   InterferenceAuditor* auditor = nullptr;
+  // Pool the receive-side assembly buffers are leased from, so steady-state
+  // replication allocates nothing once warm. Null = a process-wide default.
+  PayloadPool* pool = nullptr;
 };
 
 struct ReplicationOutcome {

@@ -39,6 +39,20 @@ void KvStoreCluster::Start() {
   }
 }
 
+void KvStoreCluster::set_observability(MetricsRegistry* metrics, RunTracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+  if (metrics != nullptr) {
+    elections_started_counter_ = &metrics->counter("kv.elections_started");
+    elections_won_counter_ = &metrics->counter("kv.elections_won");
+    proposals_counter_ = &metrics->counter("kv.proposals");
+  } else {
+    elections_started_counter_ = nullptr;
+    elections_won_counter_ = nullptr;
+    proposals_counter_ = nullptr;
+  }
+}
+
 KvNode* KvStoreCluster::Leader() const {
   // During a partition a deposed leader may still believe it leads; the
   // highest term identifies the real (quorum-backed) one.
@@ -272,8 +286,8 @@ void KvNode::OnElectionTimeout() {
 void KvNode::StartElection() {
   role_ = Role::kCandidate;
   ++term_;
-  if (cluster_.metrics_ != nullptr) {
-    cluster_.metrics_->counter("kv.elections_started").Increment();
+  if (cluster_.elections_started_counter_ != nullptr) {
+    cluster_.elections_started_counter_->Increment();
   }
   voted_for_ = index_;
   votes_received_ = 1;
@@ -364,8 +378,8 @@ void KvNode::BecomeFollower(uint64_t term) {
 
 void KvNode::BecomeLeader() {
   GEMINI_LOG(kDebug) << "kv node " << index_ << " becomes leader for term " << term_;
-  if (cluster_.metrics_ != nullptr) {
-    cluster_.metrics_->counter("kv.elections_won").Increment();
+  if (cluster_.elections_won_counter_ != nullptr) {
+    cluster_.elections_won_counter_->Increment();
   }
   if (cluster_.tracer_ != nullptr) {
     cluster_.tracer_->Event("kv_leader_elected", "kvstore",
@@ -634,8 +648,8 @@ void KvNode::Propose(KvOp op, std::function<void(Status)> done) {
     done(UnavailableError("kvstore: not leader"));
     return;
   }
-  if (cluster_.metrics_ != nullptr) {
-    cluster_.metrics_->counter("kv.proposals").Increment();
+  if (cluster_.proposals_counter_ != nullptr) {
+    cluster_.proposals_counter_->Increment();
   }
   log_.push_back(LogEntry{term_, std::move(op)});
   const uint64_t index = LastLogIndex();

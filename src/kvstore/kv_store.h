@@ -29,6 +29,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 class RunTracer;
 
@@ -58,11 +59,10 @@ class KvStoreCluster {
   void Start();
 
   // Optional observability sinks ("kv.*" metrics; election trace events).
-  // Set before Start() so the first election is captured.
-  void set_observability(MetricsRegistry* metrics, RunTracer* tracer) {
-    metrics_ = metrics;
-    tracer_ = tracer;
-  }
+  // Set before Start() so the first election is captured. Counter handles
+  // are resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h) — every committed op passes the proposal counter.
+  void set_observability(MetricsRegistry* metrics, RunTracer* tracer);
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
   const std::vector<int>& server_ranks() const { return server_ranks_; }
@@ -116,6 +116,11 @@ class KvStoreCluster {
   KvStoreConfig config_;
   MetricsRegistry* metrics_ = nullptr;
   RunTracer* tracer_ = nullptr;
+  // Hot-path metric handles (resolved once in set_observability), shared by
+  // every node of the cluster.
+  Counter* elections_started_counter_ = nullptr;
+  Counter* elections_won_counter_ = nullptr;
+  Counter* proposals_counter_ = nullptr;
   std::vector<std::unique_ptr<KvNode>> nodes_;
   uint64_t next_watch_id_ = 1;
   struct WatchReg {

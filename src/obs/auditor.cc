@@ -22,10 +22,35 @@ SpanAttribution AttributeSpan(TimeNs observed_length, const std::vector<TimeNs>&
   return result;
 }
 
+InterferenceAuditor::InterferenceAuditor(AuditorConfig config, MetricsRegistry* metrics,
+                                         RunTracer* tracer)
+    : config_(config), metrics_(metrics), tracer_(tracer) {
+  if (metrics_ != nullptr) {
+    audits_counter_ = &metrics_->counter("obs.audits");
+    interference_events_counter_ = &metrics_->counter("obs.interference.events");
+    interference_inflation_counter_ = &metrics_->counter("obs.interference.inflation_ns");
+    reprofiles_counter_ = &metrics_->counter("obs.reprofiles");
+    background_chunks_counter_ = &metrics_->counter("obs.background.chunks");
+    background_bytes_counter_ = &metrics_->counter("obs.background.bytes");
+    max_abs_drift_gauge_ = &metrics_->gauge("obs.drift.max_abs_ewma");
+  }
+}
+
 void InterferenceAuditor::Rebaseline(const std::vector<IdleSpan>& profiled_spans,
                                      const PartitionResult& plan,
                                      const PartitionParams& params) {
   profiled_spans_ = profiled_spans;
+  // Resolve the per-span drift gauge handles here, once per baseline — the
+  // audit loop sets one gauge per span per iteration, and building the
+  // "obs.drift.span_<i>" key there would put a string concatenation plus a
+  // map lookup on the per-iteration path.
+  span_drift_gauges_.clear();
+  if (metrics_ != nullptr) {
+    span_drift_gauges_.reserve(profiled_spans.size());
+    for (size_t i = 0; i < profiled_spans.size(); ++i) {
+      span_drift_gauges_.push_back(&metrics_->gauge("obs.drift.span_" + std::to_string(i)));
+    }
+  }
   span_chunk_costs_.assign(profiled_spans.size(), {});
   for (const ChunkAssignment& chunk : plan.chunks) {
     if (chunk.span_index < 0 ||
@@ -47,8 +72,8 @@ AuditReport InterferenceAuditor::AuditIteration(int64_t iteration,
     return report;
   }
   ++audits_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("obs.audits").Increment();
+  if (audits_counter_ != nullptr) {
+    audits_counter_->Increment();
   }
 
   for (size_t i = 0; i < profiled_spans_.size(); ++i) {
@@ -86,13 +111,13 @@ AuditReport InterferenceAuditor::AuditIteration(int64_t iteration,
   total_inflation_ += report.inflation;
 
   if (metrics_ != nullptr) {
-    for (size_t i = 0; i < drift_ewma_.size(); ++i) {
-      metrics_->gauge("obs.drift.span_" + std::to_string(i)).Set(drift_ewma_[i]);
+    for (size_t i = 0; i < drift_ewma_.size() && i < span_drift_gauges_.size(); ++i) {
+      span_drift_gauges_[i]->Set(drift_ewma_[i]);
     }
-    metrics_->gauge("obs.drift.max_abs_ewma").Set(report.max_abs_drift);
+    max_abs_drift_gauge_->Set(report.max_abs_drift);
     if (report.interference_events > 0) {
-      metrics_->counter("obs.interference.events").Increment(report.interference_events);
-      metrics_->counter("obs.interference.inflation_ns").Increment(report.inflation);
+      interference_events_counter_->Increment(report.interference_events);
+      interference_inflation_counter_->Increment(report.inflation);
     }
   }
 
@@ -108,8 +133,8 @@ AuditReport InterferenceAuditor::AuditIteration(int64_t iteration,
       reprofiles_ < config_.max_reprofiles && on_drift_) {
     ++reprofiles_;
     report.reprofile_triggered = true;
-    if (metrics_ != nullptr) {
-      metrics_->counter("obs.reprofiles").Increment();
+    if (reprofiles_counter_ != nullptr) {
+      reprofiles_counter_->Increment();
     }
     on_drift_(iteration);
     consecutive_drifted_ = 0;
@@ -122,9 +147,9 @@ void InterferenceAuditor::NoteBackgroundTransfer(int span_index, Bytes bytes, Ti
   (void)span_index;
   (void)start;
   (void)end;
-  if (metrics_ != nullptr) {
-    metrics_->counter("obs.background.chunks").Increment();
-    metrics_->counter("obs.background.bytes").Increment(bytes);
+  if (background_chunks_counter_ != nullptr) {
+    background_chunks_counter_->Increment();
+    background_bytes_counter_->Increment(bytes);
   }
 }
 

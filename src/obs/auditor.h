@@ -39,6 +39,8 @@
 
 namespace gemini {
 
+class Counter;
+class Gauge;
 class MetricsRegistry;
 class RunTracer;
 
@@ -84,8 +86,10 @@ struct AuditReport {
 
 class InterferenceAuditor {
  public:
-  InterferenceAuditor(AuditorConfig config, MetricsRegistry* metrics, RunTracer* tracer)
-      : config_(config), metrics_(metrics), tracer_(tracer) {}
+  // Counter handles are resolved once at construction per the hot-path
+  // metric convention (src/obs/metrics.h); the per-span drift gauges are
+  // resolved at Rebaseline, when the span count is known.
+  InterferenceAuditor(AuditorConfig config, MetricsRegistry* metrics, RunTracer* tracer);
 
   InterferenceAuditor(const InterferenceAuditor&) = delete;
   InterferenceAuditor& operator=(const InterferenceAuditor&) = delete;
@@ -127,6 +131,17 @@ class InterferenceAuditor {
   AuditorConfig config_;
   MetricsRegistry* metrics_ = nullptr;
   RunTracer* tracer_ = nullptr;
+  // Hot-path metric handles (resolved once at construction). The drift
+  // gauges are per span, so their handles live in `span_drift_gauges_`,
+  // refreshed on every Rebaseline.
+  Counter* audits_counter_ = nullptr;
+  Counter* interference_events_counter_ = nullptr;
+  Counter* interference_inflation_counter_ = nullptr;
+  Counter* reprofiles_counter_ = nullptr;
+  Counter* background_chunks_counter_ = nullptr;
+  Counter* background_bytes_counter_ = nullptr;
+  Gauge* max_abs_drift_gauge_ = nullptr;
+  std::vector<Gauge*> span_drift_gauges_;
   std::function<void(int64_t iteration)> on_drift_;
 
   // Baseline: profiled span geometry plus the per-span planned chunk costs of

@@ -11,6 +11,16 @@
 // Naming convention: lowercase dotted hierarchy, "<component>.<event>"
 // (e.g. "cpu_store.commits", "kv.elections_won"). The JSON export walks
 // names in lexicographic order so dumps are deterministic.
+//
+// Hot-path metric-handle convention: `counter(name)` / `gauge(name)` return
+// references that stay valid for the registry's lifetime (metrics live
+// behind unique_ptr, so map growth never moves them). Components therefore
+// resolve a `Counter*` / `Gauge*` member ONCE — in set_metrics / the
+// constructor / Rebaseline — and increment through the cached handle on the
+// per-chunk / per-attempt / per-iteration path, instead of paying a
+// string-keyed map lookup (and possibly a std::string construction) per
+// event. Null handle means "no registry attached"; guard each use with a
+// null check, exactly as the old `metrics_ != nullptr` guards did.
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 

@@ -8,6 +8,23 @@
 
 namespace gemini {
 
+void CpuCheckpointStore::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    commits_counter_ = &metrics->counter("cpu_store.commits");
+    bytes_committed_counter_ = &metrics->counter("cpu_store.bytes_committed");
+    aborts_counter_ = &metrics->counter("cpu_store.aborts");
+    crc_failures_counter_ = &metrics->counter("cpu_store.crc_failures");
+    corruptions_counter_ = &metrics->counter("cpu_store.corruptions");
+  } else {
+    commits_counter_ = nullptr;
+    bytes_committed_counter_ = nullptr;
+    aborts_counter_ = nullptr;
+    crc_failures_counter_ = nullptr;
+    corruptions_counter_ = nullptr;
+  }
+}
+
 void CpuCheckpointStore::ResetForMachine(Machine& machine) {
   // The previous machine's DRAM is gone; do not free against the new one.
   slots_.clear();
@@ -93,9 +110,9 @@ Status CpuCheckpointStore::CommitWrite(Checkpoint checkpoint) {
   slot.writing = false;
   slot.writing_iteration = -1;
   slot.received = 0;
-  if (metrics_ != nullptr) {
-    metrics_->counter("cpu_store.commits").Increment();
-    metrics_->counter("cpu_store.bytes_committed").Increment(slot.completed->logical_bytes);
+  if (commits_counter_ != nullptr) {
+    commits_counter_->Increment();
+    bytes_committed_counter_->Increment(slot.completed->logical_bytes);
   }
   return Status::Ok();
 }
@@ -105,8 +122,8 @@ void CpuCheckpointStore::AbortWrite(int owner_rank) {
   if (it == slots_.end()) {
     return;
   }
-  if (it->second.writing && metrics_ != nullptr) {
-    metrics_->counter("cpu_store.aborts").Increment();
+  if (it->second.writing && aborts_counter_ != nullptr) {
+    aborts_counter_->Increment();
   }
   it->second.writing = false;
   it->second.writing_iteration = -1;
@@ -133,8 +150,8 @@ std::optional<Checkpoint> CpuCheckpointStore::LatestVerified(int owner_rank) con
     return std::nullopt;
   }
   if (!latest->IntegrityOk()) {
-    if (metrics_ != nullptr) {
-      metrics_->counter("cpu_store.crc_failures").Increment();
+    if (crc_failures_counter_ != nullptr) {
+      crc_failures_counter_->Increment();
     }
     GEMINI_LOG(kWarning) << "cpu store on " << machine_->DebugName()
                          << ": replica for owner " << owner_rank
@@ -160,10 +177,13 @@ Status CpuCheckpointStore::CorruptLatest(int owner_rank, size_t bit_index) {
   }
   const size_t total_bits = checkpoint.payload.size() * sizeof(float) * 8;
   const size_t bit = bit_index % total_bits;
-  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.data());
+  // Copy-on-write: the payload buffer is shared with every other holder of
+  // this snapshot; MutableData() detaches onto a private copy so the injected
+  // bit-rot stays local to this replica.
+  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.MutableData());
   bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
-  if (metrics_ != nullptr) {
-    metrics_->counter("cpu_store.corruptions").Increment();
+  if (corruptions_counter_ != nullptr) {
+    corruptions_counter_->Increment();
   }
   return Status::Ok();
 }

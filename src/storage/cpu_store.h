@@ -21,6 +21,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 
 class CpuCheckpointStore {
@@ -28,8 +29,10 @@ class CpuCheckpointStore {
   explicit CpuCheckpointStore(Machine& machine) : machine_(&machine) {}
 
   // Optional observability sink ("cpu_store.*" counters); survives
-  // ResetForMachine (the registry outlives machine incarnations).
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // ResetForMachine (the registry outlives machine incarnations). Counter
+  // handles are resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h).
+  void set_metrics(MetricsRegistry* metrics);
 
   // Called when the machine is swapped for a new incarnation: all contents
   // are lost with the old machine's DRAM.
@@ -83,6 +86,12 @@ class CpuCheckpointStore {
 
   Machine* machine_;
   MetricsRegistry* metrics_ = nullptr;
+  // Hot-path metric handles (resolved once in set_metrics).
+  Counter* commits_counter_ = nullptr;
+  Counter* bytes_committed_counter_ = nullptr;
+  Counter* aborts_counter_ = nullptr;
+  Counter* crc_failures_counter_ = nullptr;
+  Counter* corruptions_counter_ = nullptr;
   std::map<int, Slot> slots_;
   Bytes reserved_ = 0;
 };

@@ -13,6 +13,25 @@
 
 namespace gemini {
 
+void PersistentStore::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    saves_counter_ = &metrics->counter("persistent.saves");
+    bytes_written_counter_ = &metrics->counter("persistent.bytes_written");
+    retrievals_counter_ = &metrics->counter("persistent.retrievals");
+    retries_counter_ = &metrics->counter("persistent_store.retries");
+    crc_failures_counter_ = &metrics->counter("persistent_store.crc_failures");
+    corruptions_counter_ = &metrics->counter("persistent_store.corruptions");
+  } else {
+    saves_counter_ = nullptr;
+    bytes_written_counter_ = nullptr;
+    retrievals_counter_ = nullptr;
+    retries_counter_ = nullptr;
+    crc_failures_counter_ = nullptr;
+    corruptions_counter_ = nullptr;
+  }
+}
+
 std::string PersistentStore::ShardPath(int owner_rank, int64_t iteration) const {
   if (config_.disk_dir.empty()) {
     return "";
@@ -73,9 +92,9 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
       bytes, [this, checkpoint = std::move(checkpoint), expected_world_size,
               done = std::move(done)]() mutable {
         bytes_written_ += checkpoint.logical_bytes;
-        if (metrics_ != nullptr) {
-          metrics_->counter("persistent.saves").Increment();
-          metrics_->counter("persistent.bytes_written").Increment(checkpoint.logical_bytes);
+        if (saves_counter_ != nullptr) {
+          saves_counter_->Increment();
+          bytes_written_counter_->Increment(checkpoint.logical_bytes);
         }
         const int64_t iteration = checkpoint.iteration;
         const std::string path = ShardPath(checkpoint.owner_rank, iteration);
@@ -105,8 +124,8 @@ TimeNs PersistentStore::RetryBackoff(int attempt) const {
 
 TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
                                  std::function<void(StatusOr<Checkpoint>)> done) {
-  if (metrics_ != nullptr) {
-    metrics_->counter("persistent.retrievals").Increment();
+  if (retrievals_counter_ != nullptr) {
+    retrievals_counter_->Increment();
   }
   return TryRetrieve(owner_rank, iteration, /*attempt=*/0, std::move(done));
 }
@@ -136,8 +155,8 @@ TimeNs PersistentStore::TryRetrieve(int owner_rank, int64_t iteration, int attem
             done(why);
             return;
           }
-          if (metrics_ != nullptr) {
-            metrics_->counter("persistent_store.retries").Increment();
+          if (retries_counter_ != nullptr) {
+            retries_counter_->Increment();
           }
           GEMINI_LOG(kWarning) << "persistent retrieval attempt " << attempt + 1 << " for rank "
                                << owner_rank << " at iteration " << iteration << " failed ("
@@ -161,16 +180,17 @@ TimeNs PersistentStore::TryRetrieve(int owner_rank, int64_t iteration, int attem
           // bytes actually restored.
           result = ReadShardFile(path);
           if (!result.ok()) {
-            if (metrics_ != nullptr && result.status().code() == StatusCode::kDataLoss) {
-              metrics_->counter("persistent_store.crc_failures").Increment();
+            if (crc_failures_counter_ != nullptr &&
+                result.status().code() == StatusCode::kDataLoss) {
+              crc_failures_counter_->Increment();
             }
             retry(result.status());
             return;
           }
         }
         if (!result->IntegrityOk()) {
-          if (metrics_ != nullptr) {
-            metrics_->counter("persistent_store.crc_failures").Increment();
+          if (crc_failures_counter_ != nullptr) {
+            crc_failures_counter_->Increment();
           }
           retry(DataLossError("persistent shard for rank " + std::to_string(owner_rank) +
                               " failed its CRC check"));
@@ -193,9 +213,12 @@ Status PersistentStore::CorruptShard(int owner_rank, int64_t iteration, size_t b
   if (checkpoint.payload.empty()) {
     return FailedPreconditionError("shard has no payload bytes");
   }
-  const size_t payload_bytes = checkpoint.payload.size() * sizeof(float);
+  const size_t payload_bytes = checkpoint.payload.size_bytes();
   const size_t bit = bit_index % (payload_bytes * 8);
-  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.data());
+  // Copy-on-write: the durable shard may still share its payload buffer with
+  // in-memory holders of the same snapshot; MutableData() detaches onto a
+  // private copy so the injected bit-rot stays local to the persistent tier.
+  auto* bytes = reinterpret_cast<uint8_t*>(checkpoint.payload.MutableData());
   bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
   const std::string path = ShardPath(owner_rank, iteration);
   if (!path.empty()) {
@@ -221,8 +244,8 @@ Status PersistentStore::CorruptShard(int owner_rank, int64_t iteration, size_t b
       return DataLossError("shard file corruption write failed: " + path);
     }
   }
-  if (metrics_ != nullptr) {
-    metrics_->counter("persistent_store.corruptions").Increment();
+  if (corruptions_counter_ != nullptr) {
+    corruptions_counter_->Increment();
   }
   return Status::Ok();
 }

@@ -45,6 +45,7 @@ struct PersistentStoreConfig {
   TimeNs retrieval_backoff_cap = Seconds(2);
 };
 
+class Counter;
 class MetricsRegistry;
 
 class PersistentStore {
@@ -54,8 +55,10 @@ class PersistentStore {
 
   const PersistentStoreConfig& config() const { return config_; }
 
-  // Optional observability sink ("persistent.*" counters).
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional observability sink ("persistent.*" counters). Counter handles
+  // are resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h).
+  void set_metrics(MetricsRegistry* metrics);
 
   using DoneCallback = std::function<void(Status)>;
 
@@ -115,6 +118,13 @@ class PersistentStore {
   Simulator& sim_;
   PersistentStoreConfig config_;
   MetricsRegistry* metrics_ = nullptr;
+  // Hot-path metric handles (resolved once in set_metrics).
+  Counter* saves_counter_ = nullptr;
+  Counter* bytes_written_counter_ = nullptr;
+  Counter* retrievals_counter_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+  Counter* crc_failures_counter_ = nullptr;
+  Counter* corruptions_counter_ = nullptr;
   RetrievalFaultHook fault_hook_;
   TimeNs busy_until_ = 0;
   Bytes bytes_written_ = 0;

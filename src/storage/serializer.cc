@@ -39,7 +39,7 @@ bool Read(const std::vector<uint8_t>& in, size_t& offset, T& value) {
 #endif
 std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint) {
   std::vector<uint8_t> out;
-  out.reserve(40 + checkpoint.payload.size() * sizeof(float));
+  out.reserve(40 + checkpoint.payload.size_bytes());
   out.insert(out.end(), kMagic.begin(), kMagic.end());
   Append(out, kVersion);
   Append(out, static_cast<int32_t>(checkpoint.owner_rank));
@@ -47,10 +47,10 @@ std::vector<uint8_t> SerializeCheckpoint(const Checkpoint& checkpoint) {
   Append(out, static_cast<int64_t>(checkpoint.logical_bytes));
   Append(out, static_cast<uint64_t>(checkpoint.payload.size()));
   const size_t payload_offset = out.size();
-  out.resize(payload_offset + checkpoint.payload.size() * sizeof(float));
+  out.resize(payload_offset + checkpoint.payload.size_bytes());
   if (!checkpoint.payload.empty()) {
     std::memcpy(out.data() + payload_offset, checkpoint.payload.data(),
-                checkpoint.payload.size() * sizeof(float));
+                checkpoint.payload.size_bytes());
   }
   const uint32_t crc = Crc32(out.data(), out.size());
   Append(out, crc);
@@ -95,10 +95,11 @@ StatusOr<Checkpoint> DeserializeCheckpoint(const std::vector<uint8_t>& bytes) {
   checkpoint.owner_rank = owner;
   checkpoint.iteration = iteration;
   checkpoint.logical_bytes = logical;
-  checkpoint.payload.resize(count);
+  std::vector<float> payload(count);
   if (count > 0) {
-    std::memcpy(checkpoint.payload.data(), bytes.data() + offset, count * sizeof(float));
+    std::memcpy(payload.data(), bytes.data() + offset, count * sizeof(float));
   }
+  checkpoint.payload = std::move(payload);
   // The stream CRC above already vouched for these bytes; re-stamp the
   // payload digest so in-memory integrity checks keep working downstream.
   checkpoint.StampPayloadCrc();

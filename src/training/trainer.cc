@@ -1,5 +1,6 @@
 #include "src/training/trainer.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/obs/metrics.h"
@@ -40,6 +41,14 @@ ShardedTrainer::ShardedTrainer(const ModelConfig& model, int num_machines, int p
   }
 }
 
+void ShardedTrainer::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  steps_counter_ = metrics != nullptr ? &metrics->counter("trainer.steps") : nullptr;
+  restores_counter_ = metrics != nullptr ? &metrics->counter("trainer.restores") : nullptr;
+  rollback_iterations_counter_ =
+      metrics != nullptr ? &metrics->counter("trainer.rollback_iterations") : nullptr;
+}
+
 void ShardedTrainer::Step() {
   for (int rank = 0; rank < num_machines_; ++rank) {
     auto& shard = shards_[static_cast<size_t>(rank)];
@@ -48,8 +57,8 @@ void ShardedTrainer::Step() {
     }
   }
   ++iteration_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("trainer.steps").Increment();
+  if (steps_counter_ != nullptr) {
+    steps_counter_->Increment();
   }
 }
 
@@ -62,7 +71,14 @@ Checkpoint ShardedTrainer::MakeCheckpoint(int rank) const {
   checkpoint.owner_rank = rank;
   checkpoint.iteration = iteration_;
   checkpoint.logical_bytes = checkpoint_bytes_per_machine();
-  checkpoint.payload = shards_.at(static_cast<size_t>(rank));
+  // Snapshot semantics require one copy (the shard keeps mutating under
+  // Step()), but the buffer comes from the capture pool — recycled as soon as
+  // the stores' double buffers drop the previous block's snapshot — and is
+  // then shared untouched by every downstream holder.
+  const auto& shard = shards_.at(static_cast<size_t>(rank));
+  std::shared_ptr<std::vector<float>> buffer = capture_pool_.Acquire(shard.size());
+  std::copy(shard.begin(), shard.end(), buffer->begin());
+  checkpoint.payload = PayloadRef(std::shared_ptr<const std::vector<float>>(std::move(buffer)));
   checkpoint.StampPayloadCrc();
   return checkpoint;
 }
@@ -75,7 +91,7 @@ Status ShardedTrainer::RestoreShard(const Checkpoint& checkpoint) {
   if (checkpoint.payload.size() != shard.size()) {
     return InvalidArgumentError("checkpoint payload size mismatch");
   }
-  shard = checkpoint.payload;
+  shard.assign(checkpoint.payload.begin(), checkpoint.payload.end());
   return Status::Ok();
 }
 
@@ -98,10 +114,10 @@ Status ShardedTrainer::RestoreAll(const std::vector<Checkpoint>& checkpoints) {
   for (const Checkpoint& checkpoint : checkpoints) {
     GEMINI_RETURN_IF_ERROR(RestoreShard(checkpoint));
   }
-  if (metrics_ != nullptr) {
-    metrics_->counter("trainer.restores").Increment();
+  if (restores_counter_ != nullptr) {
+    restores_counter_->Increment();
     if (iteration < iteration_) {
-      metrics_->counter("trainer.rollback_iterations").Increment(iteration_ - iteration);
+      rollback_iterations_counter_->Increment(iteration_ - iteration);
     }
   }
   if (tracer_ != nullptr) {

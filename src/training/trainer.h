@@ -20,6 +20,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 class RunTracer;
 
@@ -31,8 +32,9 @@ class ShardedTrainer {
                  uint64_t seed);
 
   // Optional observability sinks: "trainer.*" counters, and restore/rollback
-  // instants on the trace timeline.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // instants on the trace timeline. Counter handles are resolved here, once,
+  // per the hot-path metric convention (src/obs/metrics.h).
+  void set_metrics(MetricsRegistry* metrics);
   void set_tracer(RunTracer* tracer) { tracer_ = tracer; }
 
   int num_machines() const { return num_machines_; }
@@ -66,7 +68,14 @@ class ShardedTrainer {
   int64_t iteration_ = 0;
   MetricsRegistry* metrics_ = nullptr;
   RunTracer* tracer_ = nullptr;
+  // Hot-path metric handles (resolved once in set_metrics).
+  Counter* steps_counter_ = nullptr;
+  Counter* restores_counter_ = nullptr;
+  Counter* rollback_iterations_counter_ = nullptr;
   std::vector<std::vector<float>> shards_;
+  // Recycles capture buffers across MakeCheckpoint calls (mutable: capture is
+  // logically const — it does not advance training state).
+  mutable PayloadPool capture_pool_;
 };
 
 }  // namespace gemini

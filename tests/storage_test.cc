@@ -21,11 +21,12 @@ Checkpoint MakeCheckpoint(int owner, int64_t iteration, Bytes logical, size_t pa
   checkpoint.owner_rank = owner;
   checkpoint.iteration = iteration;
   checkpoint.logical_bytes = logical;
-  checkpoint.payload.resize(payload);
+  std::vector<float> values(payload);
   for (size_t i = 0; i < payload; ++i) {
-    checkpoint.payload[i] = static_cast<float>(owner) + static_cast<float>(i) * 0.5f +
-                            static_cast<float>(iteration) * 0.01f;
+    values[i] = static_cast<float>(owner) + static_cast<float>(i) * 0.5f +
+                static_cast<float>(iteration) * 0.01f;
   }
+  checkpoint.payload = std::move(values);
   return checkpoint;
 }
 
@@ -207,6 +208,93 @@ TEST_F(CpuStoreTest, MultipleOwnersAreIndependent) {
   ASSERT_TRUE(store_.WriteComplete(MakeCheckpoint(1, 4, 1000)).ok());
   EXPECT_EQ(store_.Latest(0)->iteration, 3);
   EXPECT_EQ(store_.Latest(1)->iteration, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Payload sharing (PayloadRef / PayloadPool / copy-on-write)
+// ---------------------------------------------------------------------------
+
+TEST(PayloadRefTest, CopiesShareOneBuffer) {
+  PayloadRef original(std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  PayloadRef copy = original;
+  EXPECT_TRUE(copy.SharesBufferWith(original));
+  EXPECT_EQ(copy, original);
+  EXPECT_EQ(original.use_count(), 2);
+}
+
+TEST(PayloadRefTest, SliceViewsSameBufferWithoutCopying) {
+  PayloadRef full(std::vector<float>{0.0f, 1.0f, 2.0f, 3.0f, 4.0f, 5.0f});
+  PayloadRef view = full.Slice(2, 3);
+  EXPECT_TRUE(view.SharesBufferWith(full));
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0], 2.0f);
+  EXPECT_EQ(view[2], 4.0f);
+}
+
+TEST(PayloadRefTest, MutableDataDetachesOntoPrivateCopy) {
+  PayloadRef original(std::vector<float>{1.0f, 2.0f, 3.0f});
+  PayloadRef corrupted = original;
+  corrupted.MutableData()[1] = -99.0f;
+  EXPECT_FALSE(corrupted.SharesBufferWith(original));
+  EXPECT_EQ(original[1], 2.0f);  // The other holder never sees the write.
+  EXPECT_EQ(corrupted[1], -99.0f);
+}
+
+TEST(PayloadPoolTest, RecyclesReleasedBuffersButNotPinnedOnes) {
+  PayloadPool pool;
+  std::shared_ptr<std::vector<float>> first = pool.Acquire(64);
+  std::vector<float>* first_raw = first.get();
+  // Still referenced (a store's completed slot would hold it like this): a
+  // second Acquire must not hand the same buffer out again.
+  std::shared_ptr<std::vector<float>> second = pool.Acquire(64);
+  EXPECT_NE(second.get(), first_raw);
+  EXPECT_EQ(pool.allocated_buffers(), 2u);
+  // Once released, the buffer is reused instead of allocating a third.
+  pool.Release(std::move(first));
+  std::shared_ptr<std::vector<float>> third = pool.Acquire(32);
+  EXPECT_EQ(third.get(), first_raw);
+  EXPECT_EQ(third->size(), 32u);
+  EXPECT_EQ(pool.allocated_buffers(), 2u);
+}
+
+TEST_F(CpuStoreTest, CommittedCheckpointsAcrossStoresAliasOneBuffer) {
+  // GeminiSystem hands the same staged snapshot to every holder; with
+  // PayloadRef those commits are refcount bumps, not float copies.
+  Machine other_machine(1, 0, P4d24xlarge());
+  CpuCheckpointStore other_store(other_machine);
+  ASSERT_TRUE(store_.HostOwner(2, 1000).ok());
+  ASSERT_TRUE(other_store.HostOwner(2, 1000).ok());
+  Checkpoint snapshot = MakeCheckpoint(2, 5, 1000);
+  snapshot.StampPayloadCrc();
+  ASSERT_TRUE(store_.WriteComplete(snapshot).ok());
+  ASSERT_TRUE(other_store.WriteComplete(snapshot).ok());
+  const std::optional<Checkpoint> a = store_.Latest(2);
+  const std::optional<Checkpoint> b = other_store.Latest(2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_TRUE(a->payload.SharesBufferWith(b->payload));
+  EXPECT_TRUE(a->payload.SharesBufferWith(snapshot.payload));
+}
+
+TEST_F(CpuStoreTest, CorruptionOnOneHolderNeverLeaksToSiblings) {
+  // Bit-rot injected into one replica must detach it onto a private copy:
+  // the sibling holder keeps serving verified, clean bytes.
+  Machine other_machine(1, 0, P4d24xlarge());
+  CpuCheckpointStore other_store(other_machine);
+  ASSERT_TRUE(store_.HostOwner(2, 5).ok());
+  ASSERT_TRUE(other_store.HostOwner(2, 5).ok());
+  Checkpoint snapshot = MakeCheckpoint(2, 7, 5);
+  snapshot.StampPayloadCrc();
+  ASSERT_TRUE(store_.WriteComplete(snapshot).ok());
+  ASSERT_TRUE(other_store.WriteComplete(snapshot).ok());
+  ASSERT_TRUE(store_.CorruptLatest(2, 13).ok());
+  // The corrupted holder fails its CRC re-check; the sibling still passes and
+  // its bytes are untouched.
+  EXPECT_EQ(store_.LatestVerified(2), std::nullopt);
+  const std::optional<Checkpoint> clean = other_store.LatestVerified(2);
+  ASSERT_TRUE(clean.has_value());
+  EXPECT_EQ(clean->payload, snapshot.payload);
+  EXPECT_FALSE(store_.Latest(2)->payload.SharesBufferWith(clean->payload));
 }
 
 // ---------------------------------------------------------------------------

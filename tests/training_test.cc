@@ -357,7 +357,7 @@ TEST(TrainerTest, RestoreAllRejectsWrongCount) {
 TEST(TrainerTest, RestoreShardRejectsSizeMismatch) {
   ShardedTrainer trainer(Gpt2_10B(), 2, 16, 1);
   Checkpoint checkpoint = trainer.MakeCheckpoint(0);
-  checkpoint.payload.resize(8);
+  checkpoint.payload = checkpoint.payload.Slice(0, 8);
   EXPECT_EQ(trainer.RestoreShard(checkpoint).code(), StatusCode::kInvalidArgument);
 }
 
