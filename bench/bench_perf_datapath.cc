@@ -12,15 +12,32 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/cluster/machine.h"
 #include "src/common/crc32.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/storage/cpu_store.h"
+#include "src/storage/serializer.h"
 #include "src/training/trainer.h"
+
+// Sanitizer instrumentation skews the cost of table loads vs. intrinsics vs.
+// plain loops arbitrarily (slicing-by-8 can measure *slower* than the
+// byte-wise reference under ASan), so the speedup-ratio gates only hold in
+// uninstrumented builds. The sanitizer CI leg still runs this bench for its
+// memory coverage of the full data path; it just skips the ratio thresholds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define GEMINI_BENCH_INSTRUMENTED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define GEMINI_BENCH_INSTRUMENTED 1
+#endif
+#endif
 
 namespace gemini {
 namespace {
@@ -125,6 +142,40 @@ struct DatapathFixture {
   std::vector<std::unique_ptr<CpuCheckpointStore>> stores;
 };
 
+// End-to-end serialize(+pool)+CRC throughput: the bytes a disk-backed shard
+// write pushes through SerializeCheckpointShared per wall-clock second, with
+// the worker pool the persistent store would use (null = inline).
+double SerializeThroughputMbPerSec(ThreadPool* workers) {
+  constexpr size_t kPayloadFloats = 4 << 20;  // 16 MiB payload per blob.
+  Checkpoint checkpoint;
+  checkpoint.owner_rank = 0;
+  checkpoint.iteration = 1;
+  checkpoint.logical_bytes = static_cast<Bytes>(kPayloadFloats * sizeof(float));
+  std::vector<float> payload(kPayloadFloats);
+  Rng rng(0x5E71A112ULL);
+  for (auto& value : payload) {
+    value = static_cast<float>(rng.NextDouble());
+  }
+  checkpoint.payload = std::move(payload);
+  checkpoint.StampPayloadCrc();
+
+  BlobPool pool;
+  const SerializeOptions options{workers, &pool};
+  // Warm: allocate the pooled blob and fault everything in.
+  size_t blob_bytes = SerializeCheckpointShared(checkpoint, options)->size();
+  const auto start = Clock::now();
+  size_t passes = 0;
+  double elapsed = 0.0;
+  do {
+    blob_bytes = SerializeCheckpointShared(checkpoint, options)->size();
+    ++passes;
+    elapsed = SecondsSince(start);
+  } while (elapsed < 0.25);
+  volatile size_t keep = blob_bytes;
+  (void)keep;
+  return static_cast<double>(passes) * static_cast<double>(blob_bytes) / elapsed / 1e6;
+}
+
 double MicrosPerIteration(int payload_elements, int iterations) {
   DatapathFixture fixture(payload_elements);
   for (int i = 0; i < 3; ++i) {
@@ -145,13 +196,33 @@ int main() {
   BenchReporter reporter("perf_datapath", "Checkpoint data-path wall-clock",
                          "harness perf trajectory (Section 5 data path)");
 
-  const double crc_mb_s = gemini::CrcThroughputMbPerSec(&gemini::Crc32Update);
+  // The dispatch-selected kernel (hardware where the CPU has it), the
+  // portable slicing-by-8 fallback, and the bytewise reference, timed
+  // through the same loop so the ratios are apples-to-apples.
+  const std::string crc_impl = gemini::Crc32ImplementationName();
+  const bool hw_active = crc_impl != "slicing-by-8";
+  std::cout << "active CRC implementation: " << crc_impl << "\n";
+  const double crc_mb_s = gemini::CrcThroughputMbPerSec(gemini::Crc32ActiveKernel());
+  const double crc_slicing_mb_s =
+      gemini::CrcThroughputMbPerSec(&gemini::Crc32UpdateSlicing8);
   const double crc_bytewise_mb_s =
       gemini::CrcThroughputMbPerSec(&gemini::Crc32UpdateBytewise);
-  const double crc_speedup = crc_bytewise_mb_s > 0.0 ? crc_mb_s / crc_bytewise_mb_s : 0.0;
+  const double crc_speedup =
+      crc_bytewise_mb_s > 0.0 ? crc_slicing_mb_s / crc_bytewise_mb_s : 0.0;
+  const double hw_speedup = crc_slicing_mb_s > 0.0 ? crc_mb_s / crc_slicing_mb_s : 0.0;
+  reporter.Metric("crc.hw_active", static_cast<int64_t>(hw_active ? 1 : 0));
   reporter.Metric("crc.throughput_mb_s", crc_mb_s);
+  reporter.Metric("crc.slicing8_mb_s", crc_slicing_mb_s);
   reporter.Metric("crc.bytewise_mb_s", crc_bytewise_mb_s);
   reporter.Metric("crc.speedup_vs_bytewise", crc_speedup);
+  reporter.Metric("crc.hw_speedup_vs_slicing8", hw_speedup);
+
+  // Serialize+CRC end-to-end: inline versus fanned out across a small pool.
+  const double serialize_mb_s = gemini::SerializeThroughputMbPerSec(nullptr);
+  gemini::ThreadPool workers(4);
+  const double serialize_parallel_mb_s = gemini::SerializeThroughputMbPerSec(&workers);
+  reporter.Metric("serialize.throughput_mb_s", serialize_mb_s);
+  reporter.Metric("serialize.parallel4_throughput_mb_s", serialize_parallel_mb_s);
 
   struct SizePoint {
     int elements;
@@ -172,9 +243,16 @@ int main() {
   }
   table.Print(std::cout);
 
+#if defined(GEMINI_BENCH_INSTRUMENTED)
+  const bool ratio_gates = true;  // Skipped: wall-clock ratios are meaningless here.
+#else
+  const bool ratio_gates = crc_speedup >= 3.0 && (!hw_active || hw_speedup >= 2.0);
+#endif
   reporter.ShapeCheck(
-      crc_speedup >= 3.0 && worst_us > 0.0,
-      "slice-by-8 CRC is >= 3x the byte-at-a-time reference, and the capture->commit->verify "
-      "data path completes with measurable per-iteration wall-clock at all payload sizes");
+      ratio_gates && worst_us > 0.0 && serialize_mb_s > 0.0,
+      "slice-by-8 CRC is >= 3x the byte-at-a-time reference, hardware CRC (when dispatched) "
+      "is >= 2x slicing-by-8 (ratio gates waived in sanitizer builds), serialize+CRC moves "
+      "measurable MB/s, and the capture->commit->verify data path completes at all payload "
+      "sizes");
   return reporter.Finish();
 }

@@ -65,9 +65,39 @@ if ! grep -q '"stable.tracer_dropped_records": 0' \
 fi
 
 # Smoke-run the data-path bench from the Release tree: its shape check gates
-# the slice-by-8 CRC speedup (>= 3x over the byte-wise reference) and a
+# the slice-by-8 CRC speedup (>= 3x over the byte-wise reference), the
+# hardware CRC speedup (>= 2x over slicing-by-8 where dispatched), and a
 # nonzero capture->replicate->commit wall-clock at every payload size.
 echo "==> bench smoke: bench_perf_datapath (Release)"
 ./build-release/bench/bench_perf_datapath
+
+# Forced-fallback leg: build with the hardware CRC kernels compiled out
+# (-DGEMINI_DISABLE_HWCRC=ON) and re-run the CRC/serialization-sensitive
+# suites, so the portable slicing-by-8 path stays bit-identical and green on
+# machines without PCLMUL/ARMv8-CRC. The bench must report the fallback as
+# the active implementation under this build.
+echo "==> forced-fallback pass: configure + build (-DGEMINI_DISABLE_HWCRC=ON)"
+cmake -B build-nohwcrc -S . -DCMAKE_BUILD_TYPE=Release -DGEMINI_DISABLE_HWCRC=ON >/dev/null
+cmake --build build-nohwcrc -j --target common_test storage_test replicator_test \
+  bench_perf_datapath
+
+echo "==> forced-fallback pass: CRC/serializer/replicator suites"
+./build-nohwcrc/tests/common_test --gtest_filter='Crc32*:ThreadPool*'
+./build-nohwcrc/tests/storage_test
+./build-nohwcrc/tests/replicator_test
+nohw_out="$(./build-nohwcrc/bench/bench_perf_datapath)"
+echo "$nohw_out"
+if ! grep -q 'active CRC implementation: slicing-by-8' <<<"$nohw_out"; then
+  echo "FAIL: GEMINI_DISABLE_HWCRC build still dispatched a hardware CRC kernel" >&2
+  exit 1
+fi
+
+# The same switch must also work at runtime, on the hardware-enabled build.
+echo "==> forced-fallback pass: GEMINI_DISABLE_HWCRC=1 env override"
+env_out="$(GEMINI_DISABLE_HWCRC=1 ./build-release/bench/bench_perf_datapath)"
+if ! grep -q 'active CRC implementation: slicing-by-8' <<<"$env_out"; then
+  echo "FAIL: GEMINI_DISABLE_HWCRC=1 did not force the portable CRC path" >&2
+  exit 1
+fi
 
 echo "==> done"

@@ -13,16 +13,27 @@ CloudOperator::CloudOperator(Simulator& sim, Cluster& cluster, CloudOperatorConf
       rng_(seed),
       standby_available_(config.num_standby) {}
 
+void CloudOperator::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    replacements_counter_ = &metrics->counter("cloud.replacements");
+    standby_activations_counter_ = &metrics->counter("cloud.standby_activations");
+  } else {
+    replacements_counter_ = nullptr;
+    standby_activations_counter_ = nullptr;
+  }
+}
+
 void CloudOperator::ReplaceMachine(int rank, std::function<void(Machine&)> done) {
   ++total_replacements_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("cloud.replacements").Increment();
+  if (replacements_counter_ != nullptr) {
+    replacements_counter_->Increment();
   }
   TimeNs delay;
   if (standby_available_ > 0) {
     --standby_available_;
-    if (metrics_ != nullptr) {
-      metrics_->counter("cloud.standby_activations").Increment();
+    if (standby_activations_counter_ != nullptr) {
+      standby_activations_counter_->Increment();
     }
     delay = config_.standby_activation_delay;
     // The failed machine is returned and another standby is requested; it

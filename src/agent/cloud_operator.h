@@ -17,6 +17,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 
 struct CloudOperatorConfig {
@@ -42,8 +43,10 @@ class CloudOperator {
     return (config_.provision_delay_min + config_.provision_delay_max) / 2;
   }
 
-  // Optional sink for "cloud.*" counters; may stay null.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional sink for "cloud.*" counters; may stay null. Counter handles are
+  // resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h).
+  void set_metrics(MetricsRegistry* metrics);
 
  private:
   Simulator& sim_;
@@ -53,6 +56,9 @@ class CloudOperator {
   int standby_available_;
   int total_replacements_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  // Metric handles (resolved once in set_metrics).
+  Counter* replacements_counter_ = nullptr;
+  Counter* standby_activations_counter_ = nullptr;
 };
 
 }  // namespace gemini

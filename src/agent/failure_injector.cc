@@ -18,6 +18,19 @@ std::string_view FailureTypeName(FailureType type) {
 FailureInjector::FailureInjector(Simulator& sim, Cluster& cluster, uint64_t seed)
     : sim_(sim), cluster_(cluster), rng_(seed) {}
 
+void FailureInjector::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics != nullptr) {
+    trigger_fires_counter_ = &metrics->counter("injector.trigger_fires");
+    corruptions_counter_ = &metrics->counter("injector.corruptions_injected");
+    failures_counter_ = &metrics->counter("injector.failures_injected");
+  } else {
+    trigger_fires_counter_ = nullptr;
+    corruptions_counter_ = nullptr;
+    failures_counter_ = nullptr;
+  }
+}
+
 void FailureInjector::InjectAt(TimeNs when, FailureType type, std::vector<int> ranks) {
   FailureEvent event;
   event.time = when;
@@ -73,8 +86,8 @@ void FailureInjector::Fire(std::string_view trigger) {
   }
   std::vector<ArmedEvent> events = std::move(it->second);
   armed_.erase(it);
-  if (metrics_ != nullptr) {
-    metrics_->counter("injector.trigger_fires").Increment();
+  if (trigger_fires_counter_ != nullptr) {
+    trigger_fires_counter_->Increment();
   }
   for (ArmedEvent& armed : events) {
     if (armed.corruption) {
@@ -109,8 +122,8 @@ void FailureInjector::ApplyCorruption(int holder_rank, int owner_rank, size_t bi
   GEMINI_LOG(kInfo) << "failure injector: flipped bit " << bit_index << " of owner "
                     << owner_rank << "'s replica on rank " << holder_rank << " at "
                     << FormatDuration(sim_.now());
-  if (metrics_ != nullptr) {
-    metrics_->counter("injector.corruptions_injected").Increment();
+  if (corruptions_counter_ != nullptr) {
+    corruptions_counter_->Increment();
   }
 }
 
@@ -126,8 +139,8 @@ void FailureInjector::Apply(const FailureEvent& event) {
                       << machine.DebugName() << " at " << FormatDuration(sim_.now());
   }
   ++injected_;
-  if (metrics_ != nullptr) {
-    metrics_->counter("injector.failures_injected").Increment();
+  if (failures_counter_ != nullptr) {
+    failures_counter_->Increment();
   }
   if (observer_) {
     observer_(event);

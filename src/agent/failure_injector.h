@@ -32,6 +32,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 
 enum class FailureType {
@@ -99,8 +100,10 @@ class FailureInjector {
 
   int64_t injected_count() const { return injected_; }
 
-  // Optional sink for "injector.*" counters; may stay null.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional sink for "injector.*" counters; may stay null. Counter handles
+  // are resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h).
+  void set_metrics(MetricsRegistry* metrics);
 
  private:
   struct ArmedEvent {
@@ -126,6 +129,10 @@ class FailureInjector {
   std::map<std::string, std::vector<ArmedEvent>> armed_;
   int64_t injected_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  // Metric handles (resolved once in set_metrics).
+  Counter* trigger_fires_counter_ = nullptr;
+  Counter* corruptions_counter_ = nullptr;
+  Counter* failures_counter_ = nullptr;
 };
 
 }  // namespace gemini

@@ -1,8 +1,31 @@
 #include "src/common/crc32.h"
 
+#include <algorithm>
 #include <array>
 #include <bit>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+// Hardware kernels are compiled only where the ISA extension exists and the
+// build has not forced the portable path (-DGEMINI_DISABLE_HWCRC=ON). The
+// *runtime* choice additionally checks CPUID/HWCAP and the
+// GEMINI_DISABLE_HWCRC environment variable, once, at first use.
+#if !defined(GEMINI_DISABLE_HWCRC) && defined(__GNUC__)
+#if defined(__x86_64__)
+#define GEMINI_CRC32_HW_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__linux__)
+#define GEMINI_CRC32_HW_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+#endif
 
 namespace gemini {
 namespace {
@@ -39,6 +62,199 @@ const SlicingTables& Tables() {
   return tables;
 }
 
+#if defined(GEMINI_CRC32_HW_X86)
+
+// PCLMUL folding for the *IEEE* polynomial (Gopal et al., "Fast CRC
+// Computation for Generic Polynomials Using PCLMULQDQ", reflected domain).
+// SSE4.2's crc32 instruction is useless here — it hard-wires the Castagnoli
+// polynomial — so the reduction is built from carry-less multiplies instead:
+// four 128-bit lanes fold 64 input bytes per step, the lanes collapse to one,
+// remaining 16-byte blocks fold in, and a Barrett reduction brings the
+// 128-bit remainder down to the 32-bit CRC.
+//
+// Operates on the *raw* shift-register state (no 0xFFFFFFFF pre/post
+// conditioning) and requires length >= 64 with length % 16 == 0; the
+// dispatch wrapper below handles conditioning and the tail.
+__attribute__((target("pclmul,sse4.1"))) uint32_t Crc32PclmulKernel(uint32_t state,
+                                                                    const uint8_t* bytes,
+                                                                    size_t length) {
+  // Folding constants for the reflected IEEE polynomial: k1/k2 fold across
+  // 512 bits, k3/k4 across 128, k5 shifts 64->96 bits, and `poly` packs
+  // P(x) with its Barrett inverse mu.
+  const __m128i k1k2 = _mm_set_epi64x(0x01c6e41596, 0x0154442bd4);
+  const __m128i k3k4 = _mm_set_epi64x(0x00ccaa009e, 0x01751997d0);
+  const __m128i k5 = _mm_set_epi64x(0, 0x0163cd6124);
+  const __m128i poly = _mm_set_epi64x(0x01f7011641, 0x01db710641);
+
+  __m128i lane0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x00));
+  __m128i lane1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x10));
+  __m128i lane2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x20));
+  __m128i lane3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x30));
+  lane0 = _mm_xor_si128(lane0, _mm_cvtsi32_si128(static_cast<int>(state)));
+  bytes += 64;
+  length -= 64;
+
+  while (length >= 64) {
+    const __m128i f0 = _mm_clmulepi64_si128(lane0, k1k2, 0x00);
+    const __m128i f1 = _mm_clmulepi64_si128(lane1, k1k2, 0x00);
+    const __m128i f2 = _mm_clmulepi64_si128(lane2, k1k2, 0x00);
+    const __m128i f3 = _mm_clmulepi64_si128(lane3, k1k2, 0x00);
+    lane0 = _mm_clmulepi64_si128(lane0, k1k2, 0x11);
+    lane1 = _mm_clmulepi64_si128(lane1, k1k2, 0x11);
+    lane2 = _mm_clmulepi64_si128(lane2, k1k2, 0x11);
+    lane3 = _mm_clmulepi64_si128(lane3, k1k2, 0x11);
+    lane0 = _mm_xor_si128(_mm_xor_si128(lane0, f0),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x00)));
+    lane1 = _mm_xor_si128(_mm_xor_si128(lane1, f1),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x10)));
+    lane2 = _mm_xor_si128(_mm_xor_si128(lane2, f2),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x20)));
+    lane3 = _mm_xor_si128(_mm_xor_si128(lane3, f3),
+                          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes + 0x30)));
+    bytes += 64;
+    length -= 64;
+  }
+
+  // Collapse the four lanes into one 128-bit remainder. (A plain array, not
+  // an initializer_list: vector types as template arguments draw GCC's
+  // ignored-attributes warning.)
+  __m128i acc = lane0;
+  const __m128i tail_lanes[3] = {lane1, lane2, lane3};
+  for (const __m128i& lane : tail_lanes) {
+    const __m128i lo = _mm_clmulepi64_si128(acc, k3k4, 0x00);
+    acc = _mm_clmulepi64_si128(acc, k3k4, 0x11);
+    acc = _mm_xor_si128(_mm_xor_si128(acc, lo), lane);
+  }
+
+  while (length >= 16) {
+    const __m128i lo = _mm_clmulepi64_si128(acc, k3k4, 0x00);
+    acc = _mm_clmulepi64_si128(acc, k3k4, 0x11);
+    acc = _mm_xor_si128(_mm_xor_si128(acc, lo),
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(bytes)));
+    bytes += 16;
+    length -= 16;
+  }
+
+  // 128 -> 64 bits, then Barrett reduction to the 32-bit CRC.
+  const __m128i mask32 = _mm_setr_epi32(-1, 0, -1, 0);
+  __m128i folded = _mm_clmulepi64_si128(acc, k3k4, 0x10);
+  acc = _mm_xor_si128(_mm_srli_si128(acc, 8), folded);
+
+  folded = _mm_srli_si128(acc, 4);
+  acc = _mm_and_si128(acc, mask32);
+  acc = _mm_clmulepi64_si128(acc, k5, 0x00);
+  acc = _mm_xor_si128(acc, folded);
+
+  folded = _mm_and_si128(acc, mask32);
+  folded = _mm_clmulepi64_si128(folded, poly, 0x10);
+  folded = _mm_and_si128(folded, mask32);
+  folded = _mm_clmulepi64_si128(folded, poly, 0x00);
+  acc = _mm_xor_si128(acc, folded);
+
+  return static_cast<uint32_t>(_mm_extract_epi32(acc, 1));
+}
+
+uint32_t Crc32UpdatePclmul(uint32_t crc, const void* data, size_t length) {
+  if (length < 64) {
+    return Crc32UpdateSlicing8(crc, data, length);
+  }
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  // The folding kernel wants whole 16-byte blocks; the tail (< 16 bytes)
+  // continues through the table loop on the same register state.
+  const size_t folded = length & ~static_cast<size_t>(15);
+  const uint32_t state = Crc32PclmulKernel(crc ^ 0xFFFFFFFFu, bytes, folded);
+  return Crc32UpdateSlicing8(state ^ 0xFFFFFFFFu, bytes + folded, length - folded);
+}
+
+#elif defined(GEMINI_CRC32_HW_ARM)
+
+// ARMv8 CRC32 extension: __crc32{b,h,w,d} use the IEEE polynomial directly,
+// eight bytes per instruction. HWCAP-gated at dispatch time.
+__attribute__((target("+crc"))) uint32_t Crc32UpdateArm(uint32_t crc, const void* data,
+                                                        size_t length) {
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  while (length >= 8) {
+    uint64_t v;
+    std::memcpy(&v, bytes, sizeof(v));
+    c = __crc32d(c, v);
+    bytes += 8;
+    length -= 8;
+  }
+  if (length >= 4) {
+    uint32_t v;
+    std::memcpy(&v, bytes, sizeof(v));
+    c = __crc32w(c, v);
+    bytes += 4;
+    length -= 4;
+  }
+  if (length >= 2) {
+    uint16_t v;
+    std::memcpy(&v, bytes, sizeof(v));
+    c = __crc32h(c, v);
+    bytes += 2;
+    length -= 2;
+  }
+  if (length > 0) {
+    c = __crc32b(c, *bytes);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+#endif  // hardware kernels
+
+struct Crc32Dispatch {
+  Crc32UpdateFn fn;
+  const char* name;
+};
+
+// Runtime override: any value other than "" / "0" forces the portable path
+// even on capable hardware (the CI fallback leg sets this).
+bool HwCrcDisabledByEnv() {
+  const char* value = std::getenv("GEMINI_DISABLE_HWCRC");
+  return value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0;
+}
+
+Crc32Dispatch ResolveCrc32Dispatch() {
+  if (!HwCrcDisabledByEnv()) {
+#if defined(GEMINI_CRC32_HW_X86)
+    if (__builtin_cpu_supports("pclmul") && __builtin_cpu_supports("sse4.1")) {
+      return {&Crc32UpdatePclmul, "x86-pclmul"};
+    }
+#elif defined(GEMINI_CRC32_HW_ARM)
+    if ((getauxval(AT_HWCAP) & HWCAP_CRC32) != 0) {
+      return {&Crc32UpdateArm, "armv8-crc32"};
+    }
+#endif
+  }
+  return {&Crc32UpdateSlicing8, "slicing-by-8"};
+}
+
+const Crc32Dispatch& ActiveCrc32() {
+  // Resolved once, on first use, thread-safely (magic static).
+  static const Crc32Dispatch dispatch = ResolveCrc32Dispatch();
+  return dispatch;
+}
+
+// GF(2) 32x32 matrix helpers for Crc32Combine: a matrix is 32 column
+// vectors; `times` multiplies matrix * vector, `square` composes the
+// operator with itself (doubling the number of appended zero bits).
+uint32_t Gf2MatrixTimes(const std::array<uint32_t, 32>& mat, uint32_t vec) {
+  uint32_t sum = 0;
+  for (size_t i = 0; vec != 0; vec >>= 1, ++i) {
+    if ((vec & 1u) != 0) {
+      sum ^= mat[i];
+    }
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(std::array<uint32_t, 32>& square, const std::array<uint32_t, 32>& mat) {
+  for (size_t i = 0; i < 32; ++i) {
+    square[i] = Gf2MatrixTimes(mat, mat[i]);
+  }
+}
+
 }  // namespace
 
 uint32_t Crc32UpdateBytewise(uint32_t crc, const void* data, size_t length) {
@@ -51,7 +267,7 @@ uint32_t Crc32UpdateBytewise(uint32_t crc, const void* data, size_t length) {
   return c ^ 0xFFFFFFFFu;
 }
 
-uint32_t Crc32Update(uint32_t crc, const void* data, size_t length) {
+uint32_t Crc32UpdateSlicing8(uint32_t crc, const void* data, size_t length) {
   // The sliced kernel folds the CRC register into the first four input bytes,
   // which is only correct when the 32-bit load below matches the register's
   // byte order; on a big-endian target, fall back to the reference loop.
@@ -80,6 +296,81 @@ uint32_t Crc32Update(uint32_t crc, const void* data, size_t length) {
   return c ^ 0xFFFFFFFFu;
 }
 
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t length) {
+  return ActiveCrc32().fn(crc, data, length);
+}
+
+Crc32UpdateFn Crc32ActiveKernel() { return ActiveCrc32().fn; }
+
+const char* Crc32ImplementationName() { return ActiveCrc32().name; }
+
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, size_t length_b) {
+  if (length_b == 0) {
+    return crc_a;
+  }
+  // Build the "append one zero bit" operator, square it up to "two" and
+  // "four", then walk length_b's bits, applying the operator for each set
+  // bit — O(log length_b) squarings instead of feeding length_b zero bytes.
+  std::array<uint32_t, 32> even;
+  std::array<uint32_t, 32> odd;
+  odd[0] = kPolynomial;
+  uint32_t row = 1;
+  for (size_t i = 1; i < 32; ++i) {
+    odd[i] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // two zero bits
+  Gf2MatrixSquare(odd, even);  // four zero bits
+
+  uint64_t remaining = length_b;
+  uint32_t crc = crc_a;
+  do {
+    // First squaring of each pair yields the operator for one zero *byte*.
+    Gf2MatrixSquare(even, odd);
+    if ((remaining & 1u) != 0) {
+      crc = Gf2MatrixTimes(even, crc);
+    }
+    remaining >>= 1;
+    if (remaining == 0) {
+      break;
+    }
+    Gf2MatrixSquare(odd, even);
+    if ((remaining & 1u) != 0) {
+      crc = Gf2MatrixTimes(odd, crc);
+    }
+    remaining >>= 1;
+  } while (remaining != 0);
+  return crc ^ crc_b;
+}
+
 uint32_t Crc32(const void* data, size_t length) { return Crc32Update(0, data, length); }
+
+uint32_t Crc32Parallel(const void* data, size_t length, ThreadPool* workers) {
+  // Below this, the fan-out latency costs more than the CRC it hides.
+  constexpr size_t kMinBytesPerSegment = 64 << 10;
+  const size_t segments =
+      workers == nullptr
+          ? 1
+          : std::min<size_t>(static_cast<size_t>(workers->threads()),
+                             std::max<size_t>(1, length / kMinBytesPerSegment));
+  if (segments <= 1) {
+    return Crc32(data, length);
+  }
+  const auto* bytes = static_cast<const uint8_t*>(data);
+  std::vector<uint32_t> segment_crcs(segments);
+  std::vector<size_t> segment_lengths(segments);
+  const size_t step = length / segments;
+  workers->ParallelFor(segments, [&](size_t i) {
+    const size_t begin = i * step;
+    const size_t end = i + 1 == segments ? length : begin + step;
+    segment_lengths[i] = end - begin;
+    segment_crcs[i] = Crc32(bytes + begin, end - begin);
+  });
+  uint32_t crc = segment_crcs[0];
+  for (size_t i = 1; i < segments; ++i) {
+    crc = Crc32Combine(crc, segment_crcs[i], segment_lengths[i]);
+  }
+  return crc;
+}
 
 }  // namespace gemini

@@ -1,11 +1,19 @@
 // CRC-32 (IEEE 802.3 polynomial), used to integrity-check serialized
 // checkpoints: a recovery path must never silently load corrupted state.
 //
-// The production implementation uses slicing-by-8 (eight 256-entry tables,
-// eight input bytes folded per step) — ~5-8x the throughput of the classic
-// byte-at-a-time loop on checkpoint-sized payloads, with bit-identical
-// output. The byte-wise loop is kept as `Crc32UpdateBytewise`, the reference
-// the tests (and the perf bench) compare against.
+// Three bit-identical implementations, selected once at startup through a
+// function-pointer dispatch table:
+//  * hardware — PCLMUL carry-less-multiply folding on x86-64 (SSE4.2's crc32
+//    instruction computes CRC-32C, the *Castagnoli* polynomial, so the IEEE
+//    polynomial must be folded with PCLMULQDQ instead of silently changing
+//    the checksum), or the ARMv8 `__crc32*` instructions on aarch64 (those
+//    do use the IEEE polynomial). Gated on CPUID / HWCAP at startup.
+//  * slicing-by-8 — the portable production path (eight 256-entry tables,
+//    eight input bytes folded per step); the fallback everywhere hardware is
+//    absent, compiled out (GEMINI_DISABLE_HWCRC), or disabled at runtime
+//    (the GEMINI_DISABLE_HWCRC environment variable).
+//  * bytewise — the textbook one-byte-per-step table loop, kept as the
+//    reference the tests (and the perf bench) compare everything against.
 #ifndef SRC_COMMON_CRC32_H_
 #define SRC_COMMON_CRC32_H_
 
@@ -18,12 +26,45 @@ namespace gemini {
 uint32_t Crc32(const void* data, size_t length);
 
 // Incremental form: pass the previous return value as `crc` (start with 0).
+// Dispatches to the fastest implementation the CPU supports.
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t length);
 
 // Reference implementation: the textbook one-byte-per-step table loop.
 // Bit-identical to Crc32Update for every input; exists so equivalence is
-// testable and the slicing speedup is measurable.
+// testable and every speedup is measurable.
 uint32_t Crc32UpdateBytewise(uint32_t crc, const void* data, size_t length);
+
+// The portable slicing-by-8 kernel, callable directly so the dispatch
+// equivalence tests and the perf bench can compare hardware against it even
+// when the hardware path is the active one.
+uint32_t Crc32UpdateSlicing8(uint32_t crc, const void* data, size_t length);
+
+// Function-pointer type of the kernels above (and of Crc32ActiveKernel).
+using Crc32UpdateFn = uint32_t (*)(uint32_t crc, const void* data, size_t length);
+
+// The dispatch-selected kernel itself. Calling it is equivalent to
+// Crc32Update without the (already tiny) dispatch-load indirection; exposed
+// so benches can time exactly what production uses.
+Crc32UpdateFn Crc32ActiveKernel();
+
+// Name of the dispatch-selected implementation: "x86-pclmul", "armv8-crc32",
+// or "slicing-by-8". Stable across the process lifetime (resolved once).
+const char* Crc32ImplementationName();
+
+// CRC of the concatenation A||B from crc_a = CRC(A), crc_b = CRC(B) and B's
+// length, in O(log length_b) GF(2) matrix operations (no data needed). Lets
+// parallel pipelines CRC disjoint segments concurrently and combine the
+// per-segment results in rank order, bit-identical to one sequential pass.
+uint32_t Crc32Combine(uint32_t crc_a, uint32_t crc_b, size_t length_b);
+
+class ThreadPool;
+
+// One-shot CRC fanned out across `workers`: the buffer is cut into disjoint
+// per-worker segments, each CRC'd concurrently, and the per-segment results
+// are combined in rank order. Bit-identical to Crc32(data, length) for every
+// thread count; a null (or 1-thread) pool — or a buffer too small to be
+// worth splitting — runs one sequential pass inline.
+uint32_t Crc32Parallel(const void* data, size_t length, ThreadPool* workers);
 
 }  // namespace gemini
 

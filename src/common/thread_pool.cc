@@ -1,0 +1,85 @@
+#include "src/common/thread_pool.h"
+
+#include <algorithm>
+
+namespace gemini {
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::RunBatch(Batch& batch) {
+  while (true) {
+    const size_t index = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (index >= batch.size) {
+      return;
+    }
+    (*batch.body)(index);
+    if (batch.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == batch.size) {
+      // Last index done: wake the ParallelFor caller. The lock pairs with the
+      // caller's predicate re-check so the notify cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      batch = batch_;
+    }
+    RunBatch(*batch);
+    // The shared_ptr keeps the Batch alive past the caller's return, so a
+    // straggler observing `next >= size` above touches only its own copy.
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (n == 0) {
+    return;
+  }
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      body(i);
+    }
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->size = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunBatch(*batch);  // The caller is one of the `threads()` participants.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock,
+                [&] { return batch->completed.load(std::memory_order_acquire) == batch->size; });
+}
+
+}  // namespace gemini

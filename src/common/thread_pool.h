@@ -1,0 +1,75 @@
+// Small fixed-size worker pool for the parallel checkpoint data path.
+//
+// Scope is deliberately narrow: one blocking ParallelFor at a time, fanned
+// out and joined *inside* a single caller (for the simulator, inside one
+// discrete-event callback), so the event engine never observes concurrency —
+// simulated timing and event order stay byte-identical whether the body ran
+// on one thread or eight. Determinism contract:
+//  * threads <= 1 constructs no workers at all; ParallelFor runs the body
+//    inline, in index order, on the calling thread. This is the default
+//    everywhere (`pipeline_threads = 1`), and trivially TSAN-clean.
+//  * threads > 1 runs body(0..n-1) concurrently with no ordering guarantee;
+//    callers must write results into disjoint, index-addressed slots and
+//    combine them in rank order after ParallelFor returns (e.g. per-segment
+//    CRCs merged with Crc32Combine), which makes the *result* independent of
+//    interleaving even though execution is not.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gemini {
+
+class ThreadPool {
+ public:
+  // `threads` is the total parallelism including the calling thread, so the
+  // pool spawns threads-1 workers. Values <= 1 spawn nothing.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  // Runs body(0), ..., body(n-1) across the pool (caller included) and
+  // returns when all n calls have completed. Not reentrant: the body must
+  // not call ParallelFor on the same pool.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  // One fan-out. Heap-allocated and shared so a worker that wakes late (or
+  // lingers after the last index) holds its own reference and can never race
+  // a subsequent batch's state.
+  struct Batch {
+    const std::function<void(size_t)>* body = nullptr;
+    size_t size = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+  };
+
+  void WorkerLoop();
+  // Claims and runs indices until the batch is drained; the thread finishing
+  // the last index signals done_cv_.
+  void RunBatch(Batch& batch);
+
+  const int threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> batch_;  // Guarded by mu_.
+  uint64_t generation_ = 0;       // Guarded by mu_; bumped per batch.
+  bool shutdown_ = false;         // Guarded by mu_.
+};
+
+}  // namespace gemini
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/gemini/replicator.h"
 
 namespace gemini {
@@ -73,8 +74,12 @@ Status GeminiSystem::Initialize() {
                                               config_.payload_elements, config_.seed);
   trainer_->set_metrics(&metrics_);
   trainer_->set_tracer(&tracer_);
+  if (config_.pipeline_threads > 1 && datapath_pool_ == nullptr) {
+    datapath_pool_ = std::make_unique<ThreadPool>(config_.pipeline_threads);
+  }
   persistent_ = std::make_unique<PersistentStore>(sim_, config_.persistent);
   persistent_->set_metrics(&metrics_);
+  persistent_->set_workers(datapath_pool_.get());
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     persistent_->SeedImmediate(trainer_->MakeCheckpoint(rank), config_.num_machines);
   }
@@ -369,6 +374,27 @@ void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
     }
   }
   ++report_.cpu_checkpoints_committed;
+  if (config_.publish_checkpoint_watermark) {
+    // All per-rank watermark keys plus the block-level key ride ONE batched
+    // proposal — a single consensus round per checkpoint block rather than
+    // one Raft commit per shard.
+    std::vector<KvPutEntry> watermarks;
+    watermarks.reserve(staged_snapshots_.size() + 1);
+    for (const Checkpoint& snapshot : staged_snapshots_) {
+      watermarks.push_back(KvPutEntry{
+          "ckpt/watermark/rank/" + std::to_string(snapshot.owner_rank),
+          std::to_string(snapshot.iteration)});
+    }
+    watermarks.push_back(
+        KvPutEntry{"ckpt/watermark/block", std::to_string(snapshot_iteration)});
+    kvstore_->PutBatch(std::move(watermarks), kNoLease, [](Status status) {
+      if (!status.ok()) {
+        // Leaderless windows (mid-election) drop the watermark; the next
+        // block re-publishes strictly newer values, so nothing is retried.
+        GEMINI_LOG(kWarning) << "checkpoint watermark publish failed: " << status;
+      }
+    });
+  }
   metrics_.counter("system.cpu_checkpoint_commits").Increment();
   tracer_.Span("checkpoint_block", "checkpoint", staged_at_, sim_.now(),
                {TraceAttr::Int("iteration", snapshot_iteration)});
@@ -963,6 +989,8 @@ void GeminiSystem::MaybeStartReprotection() {
   replicator_config.num_buffers = config_.num_buffers;
   replicator_config.metrics = &metrics_;
   replicator_config.auditor = &auditor_;
+  replicator_config.pipeline_threads = config_.pipeline_threads;
+  replicator_config.workers = datapath_pool_.get();
   std::vector<CpuCheckpointStore*> stores;
   stores.reserve(cpu_stores_.size());
   for (const auto& store : cpu_stores_) {

@@ -51,6 +51,8 @@
 
 namespace gemini {
 
+class ThreadPool;
+
 struct GeminiConfig {
   ModelConfig model = Gpt2_100B();
   InstanceSpec instance;  // Defaults to p4d.24xlarge when left empty.
@@ -87,6 +89,18 @@ struct GeminiConfig {
   // RunTracer stored-record cap (0 = unlimited; dropped records are counted
   // in "tracer.dropped_records").
   size_t tracer_max_records = 0;
+  // Host-side worker threads for the checkpoint data path: disk-shard
+  // serialization + CRC in the persistent store and the re-protection
+  // streams' pre-commit integrity CRC fan out across a shared pool. 1 (the
+  // default) keeps everything inline on the simulator thread; larger values
+  // change wall-clock only — simulated timing, event order, and all produced
+  // bytes are identical (per-segment CRCs combine in rank order).
+  int pipeline_threads = 1;
+  // Publish a per-checkpoint watermark to the KV store at each commit (one
+  // key per staged shard plus a block-level key, all riding a single batched
+  // proposal — one consensus round per checkpoint block). Off by default so
+  // default-config runs generate no extra KV traffic.
+  bool publish_checkpoint_watermark = false;
   AgentConfig agent;
   CloudOperatorConfig cloud;
   KvStoreConfig kvstore;
@@ -330,6 +344,8 @@ class GeminiSystem {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<KvStoreCluster> kvstore_;
   std::unique_ptr<PersistentStore> persistent_;
+  // Checkpoint data-path worker pool (null when pipeline_threads <= 1).
+  std::unique_ptr<ThreadPool> datapath_pool_;
   std::vector<std::unique_ptr<CpuCheckpointStore>> cpu_stores_;
   std::unique_ptr<ShardedTrainer> trainer_;
   std::unique_ptr<CloudOperator> cloud_;

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <string>
 
+#include "src/common/crc32.h"
 #include "src/common/logging.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/auditor.h"
 #include "src/obs/metrics.h"
 
@@ -30,6 +34,17 @@ struct Outcome {
   Counter* chunks_transferred_counter = nullptr;
   Counter* bytes_replicated_counter = nullptr;
   Counter* commits_counter = nullptr;
+  // Per-chunk counter updates are accumulated here and flushed as one
+  // Increment(n) per counter when a stream finishes (or the pass fails) —
+  // one batched update per checkpoint replica instead of one per chunk.
+  // Final totals match the per-chunk form exactly.
+  int64_t unflushed_chunks = 0;
+  int64_t unflushed_bytes = 0;
+  // Worker pool for the commit path's integrity CRC. Borrowed from the
+  // caller via ReplicatorConfig::workers, or owned for this pass when only
+  // pipeline_threads was set. Null = inline sequential CRC.
+  ThreadPool* workers = nullptr;
+  std::unique_ptr<ThreadPool> owned_workers;
   int pending_streams = 0;
   bool failed = false;
   std::function<void(ReplicationOutcome)> done;
@@ -43,7 +58,25 @@ struct Outcome {
     commits_counter = &metrics->counter("replicator.commits");
   }
 
+  void AdoptWorkers(const ReplicatorConfig& config) {
+    workers = config.workers;
+    if (workers == nullptr && config.pipeline_threads > 1) {
+      owned_workers = std::make_unique<ThreadPool>(config.pipeline_threads);
+      workers = owned_workers.get();
+    }
+  }
+
+  void FlushMetricBatch() {
+    if (chunks_transferred_counter != nullptr && unflushed_chunks > 0) {
+      chunks_transferred_counter->Increment(unflushed_chunks);
+      bytes_replicated_counter->Increment(unflushed_bytes);
+    }
+    unflushed_chunks = 0;
+    unflushed_bytes = 0;
+  }
+
   void StreamFinished(TimeNs at) {
+    FlushMetricBatch();
     result.committed_at = std::max(result.committed_at, at);
     if (--pending_streams == 0 && !failed) {
       result.status = Status::Ok();
@@ -51,6 +84,7 @@ struct Outcome {
     }
   }
   void Fail(Status status) {
+    FlushMetricBatch();
     if (failed) {
       return;
     }
@@ -131,9 +165,13 @@ struct Stream : std::enable_shared_from_this<Stream> {
             return;
           }
           ++self->outcome->result.chunks_transferred;
-          if (self->outcome->chunks_transferred_counter != nullptr) {
-            self->outcome->chunks_transferred_counter->Increment();
-            self->outcome->bytes_replicated_counter->Increment(chunk.bytes);
+          self->outcome->unflushed_chunks += 1;
+          self->outcome->unflushed_bytes += chunk.bytes;
+          if (self->outcome->failed) {
+            // In-flight transfers that land after the pass already failed
+            // still count (they did move bytes); no StreamFinished will run
+            // for them, so flush immediately.
+            self->outcome->FlushMetricBatch();
           }
           if (self->outcome->auditor != nullptr) {
             self->outcome->auditor->NoteBackgroundTransfer(chunk.span_index, chunk.bytes,
@@ -178,6 +216,19 @@ struct Stream : std::enable_shared_from_this<Stream> {
       Checkpoint received = snapshot;  // O(1): metadata + shared payload ref.
       received.payload =
           PayloadRef(std::shared_ptr<const std::vector<float>>(std::move(assembled)));
+      // Integrity gate: the digest stamped at capture must match the bytes
+      // this stream reassembled. Crc32Parallel fans the pass across the
+      // configured worker pool (per-segment CRCs combined in rank order —
+      // the same value at any thread count); with the default
+      // pipeline_threads = 1 it is one inline sequential pass.
+      if (received.payload_crc != 0 &&
+          Crc32Parallel(received.payload.data(), received.payload.size_bytes(),
+                        outcome->workers) != received.payload_crc) {
+        outcome->Fail(DataLossError("replica assembled for rank " +
+                                    std::to_string(snapshot.owner_rank) +
+                                    " failed its pre-commit CRC check"));
+        return;
+      }
       const Status committed = store->CommitWrite(std::move(received));
       if (!committed.ok()) {
         if (Superseded()) {
@@ -213,6 +264,7 @@ void ReplicateSnapshot(Cluster& cluster, const PlacementPlan& placement,
   outcome->metrics = config.metrics;
   outcome->auditor = config.auditor;
   outcome->ResolveMetricHandles();
+  outcome->AdoptWorkers(config);
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;
@@ -287,6 +339,7 @@ void ReprotectReplicas(Cluster& cluster, const PlacementPlan& placement,
   outcome->metrics = config.metrics;
   outcome->auditor = config.auditor;
   outcome->ResolveMetricHandles();
+  outcome->AdoptWorkers(config);
   outcome->done = std::move(done);
 
   std::vector<std::shared_ptr<Stream>> streams;

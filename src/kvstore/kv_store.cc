@@ -90,6 +90,25 @@ void KvStoreCluster::Put(const std::string& key, const std::string& value, Lease
   leader->Propose(std::move(op), std::move(done));
 }
 
+void KvStoreCluster::PutBatch(std::vector<KvPutEntry> entries, LeaseId lease,
+                              ProposeCallback done) {
+  if (entries.empty()) {
+    done(Status::Ok());  // Nothing to replicate; commit is vacuous.
+    return;
+  }
+  KvNode* leader = Leader();
+  if (leader == nullptr) {
+    done(UnavailableError("kvstore: no leader"));
+    return;
+  }
+  KvOp op;
+  op.type = KvOpType::kPutBatch;
+  op.entries = std::move(entries);
+  op.lease = lease;
+  op.issue_time = sim_.now();
+  leader->Propose(std::move(op), std::move(done));
+}
+
 void KvStoreCluster::PutIfAbsent(const std::string& key, const std::string& value, LeaseId lease,
                                  ProposeCallback done) {
   KvNode* leader = Leader();
@@ -547,35 +566,48 @@ void KvNode::ApplyCommitted() {
   }
 }
 
+void KvNode::ApplyPut(const std::string& key, const std::string& value, LeaseId lease_id,
+                      bool if_absent, uint64_t index, std::vector<WatchEvent>& events) {
+  if (if_absent && state_.contains(key)) {
+    return;  // Key exists: the conditional put is a committed no-op.
+  }
+  KvEntry& entry = state_[key];
+  // Re-attaching to a different lease moves the key between leases.
+  if (entry.lease != kNoLease && entry.lease != lease_id) {
+    auto lease = leases_.find(entry.lease);
+    if (lease != leases_.end()) {
+      auto& keys = lease->second.keys;
+      keys.erase(std::remove(keys.begin(), keys.end(), key), keys.end());
+    }
+  }
+  entry.value = value;
+  entry.mod_index = index;
+  entry.lease = lease_id;
+  if (lease_id != kNoLease) {
+    auto lease = leases_.find(lease_id);
+    if (lease != leases_.end()) {
+      auto& keys = lease->second.keys;
+      if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+        keys.push_back(key);
+      }
+    }
+  }
+  events.push_back(WatchEvent{WatchEventType::kPut, key, value});
+}
+
 std::vector<WatchEvent> KvNode::ApplyOp(const KvOp& op, uint64_t index) {
   std::vector<WatchEvent> events;
   switch (op.type) {
     case KvOpType::kPut: {
-      if (op.if_absent && state_.contains(op.key)) {
-        break;  // Key exists: the conditional put is a committed no-op.
+      ApplyPut(op.key, op.value, op.lease, op.if_absent, index, events);
+      break;
+    }
+    case KvOpType::kPutBatch: {
+      // One log entry, N puts: applied in order so later entries win key
+      // collisions deterministically on every replica.
+      for (const KvPutEntry& put : op.entries) {
+        ApplyPut(put.key, put.value, op.lease, /*if_absent=*/false, index, events);
       }
-      KvEntry& entry = state_[op.key];
-      // Re-attaching to a different lease moves the key between leases.
-      if (entry.lease != kNoLease && entry.lease != op.lease) {
-        auto lease = leases_.find(entry.lease);
-        if (lease != leases_.end()) {
-          auto& keys = lease->second.keys;
-          keys.erase(std::remove(keys.begin(), keys.end(), op.key), keys.end());
-        }
-      }
-      entry.value = op.value;
-      entry.mod_index = index;
-      entry.lease = op.lease;
-      if (op.lease != kNoLease) {
-        auto lease = leases_.find(op.lease);
-        if (lease != leases_.end()) {
-          auto& keys = lease->second.keys;
-          if (std::find(keys.begin(), keys.end(), op.key) == keys.end()) {
-            keys.push_back(op.key);
-          }
-        }
-      }
-      events.push_back(WatchEvent{WatchEventType::kPut, op.key, op.value});
       break;
     }
     case KvOpType::kDelete: {

@@ -78,6 +78,11 @@ class KvStoreCluster {
   using ProposeCallback = std::function<void(Status)>;
   void Put(const std::string& key, const std::string& value, LeaseId lease,
            ProposeCallback done);
+  // Batched put: all entries ride one log entry / one consensus round and
+  // apply atomically in order (each still emits its own watch event). The
+  // checkpoint hot path uses this to publish per-checkpoint bookkeeping as
+  // one flush instead of one proposal per key.
+  void PutBatch(std::vector<KvPutEntry> entries, LeaseId lease, ProposeCallback done);
   // Election primitive: the put applies only when the key is absent; callers
   // Get() afterwards to learn the winner.
   void PutIfAbsent(const std::string& key, const std::string& value, LeaseId lease,
@@ -196,6 +201,10 @@ class KvNode {
   void ApplyCommitted();
   // Applies one op to the state machine; returns watch events it produced.
   std::vector<WatchEvent> ApplyOp(const KvOp& op, uint64_t index);
+  // Applies one put (shared by kPut and each kPutBatch entry), appending the
+  // watch event it produced.
+  void ApplyPut(const std::string& key, const std::string& value, LeaseId lease,
+                bool if_absent, uint64_t index, std::vector<WatchEvent>& events);
   // Leader-only: proposes revocations for expired leases.
   void ExpireLeases();
 

@@ -7,6 +7,12 @@
 
 namespace gemini {
 
+void RunTracer::set_metrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  dropped_records_counter_ =
+      metrics != nullptr ? &metrics->counter("tracer.dropped_records") : nullptr;
+}
+
 TraceAttr TraceAttr::Text(std::string key, std::string value) {
   TraceAttr attr;
   attr.key = std::move(key);
@@ -84,8 +90,8 @@ void RunTracer::Emit(TraceRecord record) {
   }
   if (max_records_ > 0 && records_.size() >= max_records_) {
     ++dropped_records_;
-    if (metrics_ != nullptr) {
-      metrics_->counter("tracer.dropped_records").Increment();
+    if (dropped_records_counter_ != nullptr) {
+      dropped_records_counter_->Increment();
     }
     return;
   }

@@ -26,6 +26,7 @@
 
 namespace gemini {
 
+class Counter;
 class MetricsRegistry;
 
 // One attribute on a trace record. Numeric attributes keep their type so
@@ -80,8 +81,10 @@ class RunTracer {
   size_t max_records() const { return max_records_; }
   int64_t dropped_records() const { return dropped_records_; }
 
-  // Optional sink for "tracer.*" counters; may stay null.
-  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  // Optional sink for "tracer.*" counters; may stay null. The counter handle
+  // is resolved here, once, per the hot-path metric convention
+  // (src/obs/metrics.h) — Emit runs on every traced event.
+  void set_metrics(MetricsRegistry* metrics);
 
   // Observer invoked for every record as it is emitted — even when the tracer
   // is disabled or at its record cap. GeminiSystem wires the FlightRecorder's
@@ -122,6 +125,8 @@ class RunTracer {
   size_t max_records_ = 0;
   int64_t dropped_records_ = 0;
   MetricsRegistry* metrics_ = nullptr;
+  // Metric handle (resolved once in set_metrics).
+  Counter* dropped_records_counter_ = nullptr;
   std::function<void(const TraceRecord&)> record_sink_;
   std::vector<TraceRecord> records_;
 };

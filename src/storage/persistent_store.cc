@@ -42,16 +42,20 @@ std::string PersistentStore::ShardPath(int owner_rank, int64_t iteration) const 
 
 namespace {
 
-Status WriteShardFile(const std::string& path, const Checkpoint& checkpoint) {
+Status WriteShardFile(const std::string& path, const Checkpoint& checkpoint,
+                      const SerializeOptions& options) {
   std::error_code ec;
   std::filesystem::create_directories(std::filesystem::path(path).parent_path(), ec);
-  const std::vector<uint8_t> blob = SerializeCheckpoint(checkpoint);
+  // Pooled + (optionally) parallel serialization; the blob buffer goes back
+  // to the pool when this frame's shared_ptr drops.
+  const std::shared_ptr<std::vector<uint8_t>> blob =
+      SerializeCheckpointShared(checkpoint, options);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
     return UnavailableError("cannot open shard file for writing: " + path);
   }
-  out.write(reinterpret_cast<const char*>(blob.data()),
-            static_cast<std::streamsize>(blob.size()));
+  out.write(reinterpret_cast<const char*>(blob->data()),
+            static_cast<std::streamsize>(blob->size()));
   if (!out) {
     return DataLossError("short write to shard file: " + path);
   }
@@ -99,7 +103,8 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
         const int64_t iteration = checkpoint.iteration;
         const std::string path = ShardPath(checkpoint.owner_rank, iteration);
         if (!path.empty()) {
-          const Status written = WriteShardFile(path, checkpoint);
+          const Status written =
+              WriteShardFile(path, checkpoint, SerializeOptions{workers_, &blob_pool_});
           if (!written.ok()) {
             done(written);
             return;
@@ -266,7 +271,8 @@ void PersistentStore::SeedImmediate(Checkpoint checkpoint, int expected_world_si
   const int64_t iteration = checkpoint.iteration;
   const std::string path = ShardPath(checkpoint.owner_rank, iteration);
   if (!path.empty()) {
-    const Status written = WriteShardFile(path, checkpoint);
+    const Status written =
+        WriteShardFile(path, checkpoint, SerializeOptions{workers_, &blob_pool_});
     if (!written.ok()) {
       GEMINI_LOG(kError) << "seeding persistent shard failed: " << written;
     }

@@ -1,7 +1,10 @@
-// Tests for src/common: status, units, rng, stats, crc32, table printer.
+// Tests for src/common: status, units, rng, stats, crc32, thread pool,
+// table printer.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstring>
 #include <set>
 
 #include "src/common/crc32.h"
@@ -9,6 +12,7 @@
 #include "src/common/stats.h"
 #include "src/common/status.h"
 #include "src/common/table_printer.h"
+#include "src/common/thread_pool.h"
 #include "src/common/units.h"
 
 namespace gemini {
@@ -380,6 +384,144 @@ TEST(Crc32Test, SlicedKernelMatchesBytewiseReference) {
   const uint32_t seed_crc = Crc32(big.data(), 17);
   EXPECT_EQ(Crc32Update(seed_crc, big.data(), big.size()),
             Crc32UpdateBytewise(seed_crc, big.data(), big.size()));
+}
+
+TEST(Crc32Test, ImplementationNameIsKnownAndStable) {
+  const char* name = Crc32ImplementationName();
+  ASSERT_NE(name, nullptr);
+  const std::string impl(name);
+  EXPECT_TRUE(impl == "x86-pclmul" || impl == "armv8-crc32" || impl == "slicing-by-8")
+      << impl;
+  // Resolved once: every later call reports the same implementation.
+  EXPECT_EQ(std::string(Crc32ImplementationName()), impl);
+  EXPECT_EQ(Crc32ActiveKernel(), Crc32ActiveKernel());
+}
+
+TEST(Crc32Test, DispatchedKernelsAgreeOnRandomizedBuffers) {
+  // All three implementations (hardware when dispatched, slicing-by-8,
+  // bytewise) must be bit-identical on random lengths up to 1 MiB, at
+  // unaligned starting offsets, and with nonzero running CRCs. The hardware
+  // kernels only engage above their small-buffer cutoffs, so the length
+  // distribution mixes tiny tails with multi-fold bodies.
+  Rng rng(0xD15Fa7c4);
+  const Crc32UpdateFn active = Crc32ActiveKernel();
+  std::vector<uint8_t> arena(1 << 20);
+  for (auto& byte : arena) {
+    byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t offset = static_cast<size_t>(rng.UniformInt(0, 31));
+    const size_t max_length = arena.size() - offset;
+    // Half the trials stress the small/cutoff lengths, half the long ones.
+    const size_t length = trial % 2 == 0
+                              ? static_cast<size_t>(rng.UniformInt(0, 192))
+                              : static_cast<size_t>(rng.UniformInt(
+                                    0, static_cast<int>(max_length)));
+    const uint8_t* data = arena.data() + offset;
+    const uint32_t seed_crc =
+        trial % 3 == 0 ? 0u : static_cast<uint32_t>(rng.NextU64Below(1ull << 32));
+    const uint32_t reference = Crc32UpdateBytewise(seed_crc, data, length);
+    EXPECT_EQ(Crc32UpdateSlicing8(seed_crc, data, length), reference)
+        << "slicing8 trial " << trial << " offset " << offset << " length " << length;
+    EXPECT_EQ(active(seed_crc, data, length), reference)
+        << Crc32ImplementationName() << " trial " << trial << " offset " << offset
+        << " length " << length;
+  }
+}
+
+TEST(Crc32Test, DispatchedKernelChainsAcrossArbitrarySplits) {
+  // Incremental updates through the dispatched kernel must agree with the
+  // bytewise reference at any split point, including splits inside the
+  // hardware kernels' fold blocks.
+  Rng rng(0x5E63E575);
+  std::vector<uint8_t> data(4096 + 21);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const uint32_t reference = Crc32UpdateBytewise(0, data.data(), data.size());
+  const Crc32UpdateFn active = Crc32ActiveKernel();
+  for (int trial = 0; trial < 48; ++trial) {
+    const size_t split = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int>(data.size())));
+    uint32_t crc = active(0, data.data(), split);
+    crc = active(crc, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc, reference) << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, CombineMatchesWholeBufferCrc) {
+  Rng rng(0xC0B13E);
+  std::vector<uint8_t> data(1 << 16);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const uint32_t whole = Crc32(data.data(), data.size());
+  for (const size_t split : {size_t{0}, size_t{1}, size_t{63}, size_t{1024},
+                             size_t{40000}, data.size()}) {
+    const uint32_t a = Crc32(data.data(), split);
+    const uint32_t b = Crc32(data.data() + split, data.size() - split);
+    EXPECT_EQ(Crc32Combine(a, b, data.size() - split), whole) << "split " << split;
+  }
+  // Zero-length second half is the identity.
+  EXPECT_EQ(Crc32Combine(whole, 0, 0), whole);
+}
+
+TEST(Crc32Test, ParallelMatchesSequentialAtEveryThreadCount) {
+  Rng rng(0x9A12A11E1);
+  std::vector<uint8_t> data(3 << 20 | 0x155);  // Odd size: uneven segments.
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.UniformInt(0, 255));
+  }
+  const uint32_t sequential = Crc32(data.data(), data.size());
+  EXPECT_EQ(Crc32Parallel(data.data(), data.size(), nullptr), sequential);
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(Crc32Parallel(data.data(), data.size(), &pool), sequential)
+        << threads << " threads";
+  }
+  // Small buffers skip the fan-out but still produce the same value.
+  ThreadPool pool(4);
+  EXPECT_EQ(Crc32Parallel(data.data(), 100, &pool), Crc32(data.data(), 100));
+  EXPECT_EQ(Crc32Parallel(nullptr, 0, &pool), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInIndexOrder) {
+  // threads <= 1 must spawn no workers and execute bodies inline, in index
+  // order — the determinism contract the simulator-facing default relies on.
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  std::vector<size_t> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 5u);
+  for (size_t i = 0; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr size_t kTasks = 1000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(17, [&](size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 20u * 17u);
+  pool.ParallelFor(0, [&](size_t) { total.fetch_add(1); });  // No-op.
+  EXPECT_EQ(total.load(), 20u * 17u);
 }
 
 // ---------------------------------------------------------------------------

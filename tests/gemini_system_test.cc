@@ -315,6 +315,64 @@ TEST(GeminiSystemTest, WastedTimeBeatsBaselineByOrderOfMagnitude) {
   EXPECT_GT(speedup, 13.0);
 }
 
+TEST(GeminiSystemTest, CheckpointWatermarkPublishedAsOneBatchedProposal) {
+  // Identical runs with the watermark off and on: the difference in KV
+  // proposals must be exactly one per checkpoint block (the batched
+  // publish), not one per key — 5 blocks of (8 ranks + 1 block key) would
+  // cost 45 extra proposals unbatched.
+  GeminiConfig config = SmallConfig();
+  GeminiSystem baseline(config);
+  ASSERT_TRUE(baseline.Initialize().ok());
+  ASSERT_TRUE(baseline.TrainUntil(5).ok());
+  const int64_t proposals_off = baseline.metrics().counter_value("kv.proposals");
+
+  config.publish_checkpoint_watermark = true;
+  GeminiSystem system(config);
+  ASSERT_TRUE(system.Initialize().ok());
+  const auto report = system.TrainUntil(5);
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->cpu_checkpoints_committed, 5);
+  // The per-rank watermarks and the block key are visible...
+  const StatusOr<KvEntry> block = system.kvstore().Get("ckpt/watermark/block");
+  ASSERT_TRUE(block.ok()) << block.status();
+  EXPECT_EQ(block->value, "4");  // Last committed snapshot iteration.
+  const auto ranks = system.kvstore().List("ckpt/watermark/rank/");
+  EXPECT_EQ(static_cast<int>(ranks.size()), config.num_machines);
+  for (const auto& [key, entry] : ranks) {
+    EXPECT_EQ(entry.value, "4") << key;
+  }
+  // ...and cost one consensus round per checkpoint block.
+  const int64_t proposals_on = system.metrics().counter_value("kv.proposals");
+  EXPECT_EQ(proposals_on, proposals_off + 5) << "watermarks were not batched";
+}
+
+TEST(GeminiSystemTest, WatermarkOffByDefaultLeavesKvStateUntouched) {
+  GeminiSystem system(SmallConfig());
+  ASSERT_TRUE(system.Initialize().ok());
+  ASSERT_TRUE(system.TrainUntil(3).ok());
+  EXPECT_TRUE(system.kvstore().List("ckpt/").empty());
+}
+
+TEST(GeminiSystemTest, PipelineThreadsDoNotChangeSimulatedResults) {
+  // pipeline_threads parallelizes host-side serialization/CRC only: wall
+  // time, trained state, and every commit must be identical to the default.
+  GeminiConfig config = SmallConfig();
+  config.persistent_checkpoint_interval = Minutes(2);  // Exercise the store.
+  std::vector<TimeNs> wall_times;
+  for (const int threads : {1, 4}) {
+    config.pipeline_threads = threads;
+    GeminiSystem system(config);
+    ASSERT_TRUE(system.Initialize().ok());
+    system.failure_injector().InjectAt(Minutes(3), FailureType::kHardware, {6});
+    const auto report = system.TrainUntil(6);
+    ASSERT_TRUE(report.ok()) << report.status();
+    wall_times.push_back(report->wall_time);
+    ExpectStateMatchesReference(system, config, 6);
+  }
+  EXPECT_EQ(wall_times[0], wall_times[1])
+      << "host-side threads leaked into simulated time";
+}
+
 TEST(GeminiSystemTest, DeterministicAcrossRuns) {
   GeminiConfig config = SmallConfig();
   std::vector<TimeNs> wall_times;

@@ -192,6 +192,72 @@ TEST_F(KvStoreTest, LeaseRevokeDeletesKeysImmediately) {
   EXPECT_EQ(kv_->Get("/b").status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(KvStoreTest, PutBatchCommitsAllEntriesInOneLogEntry) {
+  AwaitLeader();
+  int leader_node = -1;
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    if (kv_->node(i).role() == KvNode::Role::kLeader) {
+      leader_node = i;
+    }
+  }
+  ASSERT_GE(leader_node, 0);
+  std::vector<WatchEvent> events;
+  kv_->Watch("/ckpt/", [&](const WatchEvent& event) { events.push_back(event); });
+  const uint64_t committed_before = kv_->node(leader_node).commit_index();
+  Status result = InternalError("pending");
+  kv_->PutBatch({{"/ckpt/rank/0", "7"}, {"/ckpt/rank/1", "7"}, {"/ckpt/block", "7"}},
+                kNoLease, [&](Status status) { result = status; });
+  Settle();
+  ASSERT_TRUE(result.ok()) << result;
+  // The whole batch rode ONE log entry — a single consensus round.
+  EXPECT_EQ(kv_->node(leader_node).commit_index(), committed_before + 1);
+  // Every entry is visible, stamped with the same mod revision.
+  const StatusOr<KvEntry> first = kv_->Get("/ckpt/rank/0");
+  const StatusOr<KvEntry> last = kv_->Get("/ckpt/block");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(first->value, "7");
+  EXPECT_EQ(last->value, "7");
+  EXPECT_EQ(first->mod_index, last->mod_index);
+  // Each put still produced its own watch event, in batch order.
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].key, "/ckpt/rank/0");
+  EXPECT_EQ(events[1].key, "/ckpt/rank/1");
+  EXPECT_EQ(events[2].key, "/ckpt/block");
+}
+
+TEST_F(KvStoreTest, PutBatchAppliesDuplicateKeysInOrder) {
+  AwaitLeader();
+  Status result = InternalError("pending");
+  kv_->PutBatch({{"/k", "first"}, {"/k", "second"}}, kNoLease,
+                [&](Status status) { result = status; });
+  Settle();
+  ASSERT_TRUE(result.ok());
+  const StatusOr<KvEntry> entry = kv_->Get("/k");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->value, "second") << "later batch entries must win collisions";
+}
+
+TEST_F(KvStoreTest, EmptyPutBatchSucceedsWithoutProposing) {
+  // Vacuous commit: needs no leader and appends nothing to any log.
+  Status result = InternalError("pending");
+  kv_->PutBatch({}, kNoLease, [&](Status status) { result = status; });
+  EXPECT_TRUE(result.ok());
+}
+
+TEST_F(KvStoreTest, PutBatchReplicatesToFollowers) {
+  AwaitLeader();
+  kv_->PutBatch({{"/a", "1"}, {"/b", "2"}}, kNoLease, [](Status) {});
+  Settle();
+  for (int i = 0; i < kv_->num_nodes(); ++i) {
+    const auto& state = kv_->node(i).applied_state();
+    ASSERT_TRUE(state.contains("/a")) << "node " << i;
+    ASSERT_TRUE(state.contains("/b")) << "node " << i;
+    EXPECT_EQ(state.at("/a").value, "1");
+    EXPECT_EQ(state.at("/b").value, "2");
+  }
+}
+
 TEST_F(KvStoreTest, WatchSeesPutAndDelete) {
   AwaitLeader();
   std::vector<WatchEvent> events;

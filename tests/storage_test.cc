@@ -5,6 +5,7 @@
 #include "src/cluster/instance_spec.h"
 #include "src/cluster/machine.h"
 #include "src/common/rng.h"
+#include "src/common/thread_pool.h"
 #include "src/obs/metrics.h"
 #include "src/storage/cpu_store.h"
 #include "src/storage/persistent_store.h"
@@ -47,6 +48,45 @@ TEST(SerializerTest, RoundTripsEmptyPayload) {
   const StatusOr<Checkpoint> restored = DeserializeCheckpoint(SerializeCheckpoint(original));
   ASSERT_TRUE(restored.ok());
   EXPECT_EQ(*restored, original);
+}
+
+TEST(SerializerTest, SharedFormIsByteIdenticalAtAnyThreadCount) {
+  // SerializeCheckpointShared with a worker pool must produce exactly the
+  // bytes of the single-threaded SerializeCheckpoint — segmented payload
+  // copies and rank-order-combined per-segment CRCs change wall-clock only.
+  // A payload above the 64 KiB/segment fan-out cutoff engages the pool.
+  const Checkpoint original = MakeCheckpoint(3, 17, GiB(10), 128 * 1024);
+  const std::vector<uint8_t> reference = SerializeCheckpoint(original);
+  for (const int threads : {1, 2, 4}) {
+    ThreadPool pool(threads);
+    BlobPool blobs;
+    const auto blob =
+        SerializeCheckpointShared(original, SerializeOptions{&pool, &blobs});
+    ASSERT_NE(blob, nullptr);
+    EXPECT_EQ(*blob, reference) << threads << " threads";
+  }
+  // Null options degrade to the plain path.
+  const auto plain = SerializeCheckpointShared(original, SerializeOptions{});
+  EXPECT_EQ(*plain, reference);
+}
+
+TEST(SerializerTest, BlobPoolRecyclesReturnedBuffers) {
+  BlobPool pool;
+  const Checkpoint checkpoint = MakeCheckpoint(1, 2, MiB(1), 1024);
+  std::shared_ptr<std::vector<uint8_t>> first =
+      SerializeCheckpointShared(checkpoint, SerializeOptions{nullptr, &pool});
+  const std::vector<uint8_t>* first_buffer = first.get();
+  EXPECT_EQ(pool.allocated_buffers(), 1u);
+  first.reset();  // Back to the pool.
+  const auto second =
+      SerializeCheckpointShared(checkpoint, SerializeOptions{nullptr, &pool});
+  EXPECT_EQ(second.get(), first_buffer) << "buffer was not recycled";
+  EXPECT_EQ(pool.allocated_buffers(), 1u);
+  // A buffer still referenced cannot be handed out again.
+  const auto third =
+      SerializeCheckpointShared(checkpoint, SerializeOptions{nullptr, &pool});
+  EXPECT_NE(third.get(), second.get());
+  EXPECT_EQ(pool.allocated_buffers(), 2u);
 }
 
 TEST(SerializerTest, RejectsBadMagic) {
