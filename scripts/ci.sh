@@ -29,6 +29,9 @@ cmake --build build -j
 echo "==> tier-1: ctest"
 (cd build && ctest --output-on-failure -j"$(nproc)")
 
+echo "==> tier-1: ctest -L policy (protection-policy engine)"
+(cd build && ctest --output-on-failure -L policy)
+
 if [[ "$fast" == "1" ]]; then
   echo "==> done (fast mode: Release and sanitizer passes skipped)"
   exit 0
@@ -48,8 +51,11 @@ cmake --build build-asan -j
 echo "==> sanitizer pass: ctest -L obs (auditor, flight recorder, tracer determinism)"
 (cd build-asan && ctest --output-on-failure -L obs)
 
+echo "==> sanitizer pass: ctest -L policy (policy engine under ASan+UBSan)"
+(cd build-asan && ctest --output-on-failure -L policy)
+
 echo "==> sanitizer pass: ctest (remaining suites)"
-(cd build-asan && ctest --output-on-failure -LE obs -j"$(nproc)")
+(cd build-asan && ctest --output-on-failure -LE 'obs|policy' -j"$(nproc)")
 
 # Smoke-run the auditor bench: its shape check gates the zero-overhead and
 # determinism claims, and an uncapped tracer dropping records is a regression
@@ -61,6 +67,18 @@ export GEMINI_BENCH_OUT_DIR
 if ! grep -q '"stable.tracer_dropped_records": 0' \
     "$GEMINI_BENCH_OUT_DIR/BENCH_ext_auditor.json"; then
   echo "FAIL: uncapped tracer dropped records during the auditor smoke run" >&2
+  exit 1
+fi
+
+# Smoke-run the policy-comparison bench: its shape check gates the four
+# policies' overhead/recovery ordering, and the Chameleon selector must
+# switch at least once under the injected failure-rate shift.
+echo "==> bench smoke: bench_ext_policies"
+./build/bench/bench_ext_policies
+switches="$(sed -n 's/.*"chameleon.switches": \([0-9]*\).*/\1/p' \
+    "$GEMINI_BENCH_OUT_DIR/BENCH_ext_policies.json")"
+if [[ -z "$switches" || "$switches" -lt 1 ]]; then
+  echo "FAIL: Chameleon selector never switched during the policy smoke run" >&2
   exit 1
 fi
 

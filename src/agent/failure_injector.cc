@@ -152,6 +152,17 @@ void FailureInjector::StartRandomArrivals(double rate_per_machine_day, double so
   ScheduleNextRandom(rate_per_machine_day, software_fraction, until);
 }
 
+void FailureInjector::StartRandomArrivalsAt(TimeNs start, double rate_per_machine_day,
+                                            double software_fraction, TimeNs until) {
+  if (start <= sim_.now()) {
+    ScheduleNextRandom(rate_per_machine_day, software_fraction, until);
+    return;
+  }
+  sim_.ScheduleAt(start, [this, rate_per_machine_day, software_fraction, until] {
+    ScheduleNextRandom(rate_per_machine_day, software_fraction, until);
+  });
+}
+
 void FailureInjector::ScheduleNextRandom(double rate_per_machine_day, double software_fraction,
                                          TimeNs until) {
   const double cluster_rate_per_day = rate_per_machine_day * cluster_.size();

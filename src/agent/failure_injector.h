@@ -98,6 +98,12 @@ class FailureInjector {
   // each hitting one uniformly random alive machine. Runs until `until`.
   void StartRandomArrivals(double rate_per_machine_day, double software_fraction, TimeNs until);
 
+  // Deferred variant: the Poisson process switches on at `start` (an injected
+  // failure-rate shift — e.g. a quiet cluster turning into a failure storm
+  // mid-run, the scenario the Chameleon selector reacts to).
+  void StartRandomArrivalsAt(TimeNs start, double rate_per_machine_day,
+                             double software_fraction, TimeNs until);
+
   int64_t injected_count() const { return injected_; }
 
   // Optional sink for "injector.*" counters; may stay null. Counter handles

@@ -3,25 +3,18 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/policy/cost_model.h"
+
 namespace gemini {
-namespace {
-
-TimeNs AlignUpToIterations(TimeNs interval, TimeNs iteration_time) {
-  const int64_t iterations =
-      std::max<int64_t>(1, (interval + iteration_time - 1) / iteration_time);
-  return iterations * iteration_time;
-}
-
-}  // namespace
 
 SystemModel BuildDeepFreeze(const CheckpointWorkload& workload,
                             const DeepFreezeOptions& options) {
   SystemModel model;
   model.name = "DeepFreeze";
-  const TimeNs serialize =
-      TransferTime(workload.checkpoint_bytes_per_machine, workload.serialization_bandwidth);
+  const TimeNs serialize = SerializationStall(workload.checkpoint_bytes_per_machine,
+                                              workload.serialization_bandwidth);
   const TimeNs upload =
-      TransferTime(workload.total_checkpoint_bytes(), workload.persistent_bandwidth);
+      PersistentUploadTime(workload.total_checkpoint_bytes(), workload.persistent_bandwidth);
   // Serialization overlaps training; the end-to-end checkpoint time is still
   // serialize + upload, and one checkpoint must finish before the next.
   model.checkpoint_time = serialize + upload;
@@ -39,16 +32,14 @@ SystemModel BuildCheckFreq(const CheckpointWorkload& workload,
   SystemModel model;
   model.name = "CheckFreq";
   const TimeNs snapshot =
-      TransferTime(workload.checkpoint_bytes_per_machine, options.snapshot_bandwidth);
+      SerializationStall(workload.checkpoint_bytes_per_machine, options.snapshot_bandwidth);
   const TimeNs upload =
-      TransferTime(workload.total_checkpoint_bytes(), workload.persistent_bandwidth);
+      PersistentUploadTime(workload.total_checkpoint_bytes(), workload.persistent_bandwidth);
   model.checkpoint_time = snapshot + upload;
   // Frequency tuning: fast enough that overhead stays under the budget, but
   // never faster than the store can drain (the paper's own stated limit).
-  const TimeNs budget_interval =
-      static_cast<TimeNs>(static_cast<double>(snapshot) / options.overhead_budget);
-  model.checkpoint_interval = AlignUpToIterations(
-      std::max(budget_interval, model.checkpoint_time), workload.iteration_time);
+  model.checkpoint_interval = BudgetedInterval(snapshot, options.overhead_budget,
+                                               model.checkpoint_time, workload.iteration_time);
   model.training_block_per_checkpoint = snapshot;
   model.retrieval_time =
       TransferTime(workload.total_checkpoint_bytes(), workload.persistent_bandwidth);

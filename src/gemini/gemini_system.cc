@@ -20,8 +20,46 @@ std::string_view RecoverySourceName(RecoverySource source) {
       return "remote_cpu_memory";
     case RecoverySource::kPersistentStorage:
       return "persistent_storage";
+    case RecoverySource::kGradientReplay:
+      return "gradient_replay";
+    case RecoverySource::kPeerRecompute:
+      return "peer_recompute";
   }
   return "unknown";
+}
+
+Status GeminiConfig::Validate() const {
+  if (num_machines < 1) {
+    return InvalidArgumentError("need at least one machine");
+  }
+  if (num_replicas < 1 || num_replicas > num_machines) {
+    return InvalidArgumentError("replica count must be in [1, num_machines]");
+  }
+  if (payload_elements < 1) {
+    return InvalidArgumentError("payload_elements must be positive");
+  }
+  if (profile_iterations < 1) {
+    return InvalidArgumentError("profile_iterations must be positive");
+  }
+  if (num_buffers < 1) {
+    return InvalidArgumentError("num_buffers must be positive");
+  }
+  if (gamma <= 0.0 || gamma > 1.0) {
+    return InvalidArgumentError("gamma must be in (0, 1]");
+  }
+  if (serialization_bandwidth <= 0) {
+    return InvalidArgumentError("serialization_bandwidth must be positive");
+  }
+  if (retrieval_max_attempts < 1) {
+    return InvalidArgumentError("retrieval_max_attempts must be positive");
+  }
+  if (reprotection_max_attempts < 1) {
+    return InvalidArgumentError("reprotection_max_attempts must be positive");
+  }
+  if (pipeline_threads < 1) {
+    return InvalidArgumentError("pipeline_threads must be positive");
+  }
+  return policy.Validate();
 }
 
 GeminiSystem::GeminiSystem(GeminiConfig config)
@@ -36,16 +74,19 @@ GeminiSystem::GeminiSystem(GeminiConfig config)
 
 GeminiSystem::~GeminiSystem() = default;
 
+StatusOr<std::unique_ptr<GeminiSystem>> GeminiSystem::Create(GeminiConfig config) {
+  GEMINI_RETURN_IF_ERROR(config.Validate());
+  auto system = std::make_unique<GeminiSystem>(std::move(config));
+  GEMINI_RETURN_IF_ERROR(system->Initialize());
+  return system;
+}
+
 Status GeminiSystem::Initialize() {
   if (initialized_) {
     return FailedPreconditionError("GeminiSystem already initialized");
   }
-  if (config_.num_machines < 1) {
-    return InvalidArgumentError("need at least one machine");
-  }
-  if (config_.num_replicas < 1 || config_.num_replicas > config_.num_machines) {
-    return InvalidArgumentError("replica count must be in [1, num_machines]");
-  }
+  GEMINI_RETURN_IF_ERROR(config_.Validate());
+  policy_ = MakeProtectionPolicy(config_.policy);
 
   // ---- Cluster and fabric.
   FabricConfig fabric_config;
@@ -180,6 +221,11 @@ Status GeminiSystem::Initialize() {
   auditor_.Rebaseline(profile_.spans, execution_.partition, AuditPartitionParams());
   auditor_.set_on_drift([this](int64_t iteration) { ReprofileAndRepartition(iteration); });
 
+  // The protection policy goes live against the freshly computed schedule
+  // (its Activate publishes the per-policy overhead gauges).
+  current_iteration_duration_ = execution_.iteration_time;
+  policy_->Activate(*this);
+
   // Reserve the checkpoint communication buffer on every GPU.
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     GEMINI_RETURN_IF_ERROR(
@@ -260,8 +306,12 @@ void GeminiSystem::StartNextIteration() {
       audit.inflation = 0;
     }
   }
-  const int interval = checkpoint_interval_iterations_;
-  if (iteration % interval == 0) {
+  // The policy decides this iteration's capture/commit/stall (after the
+  // audit, so it plans against the schedule as it now is). The selector's
+  // switch rules also run here, at iteration-start granularity.
+  const IterationPlan plan = policy_->PlanIteration(*this, iteration, staged_iteration_ >= 0);
+  current_iteration_duration_ = plan.iteration_duration;
+  if (plan.stage_snapshot) {
     staged_snapshots_.clear();
     for (int owner = 0; owner < config_.num_machines; ++owner) {
       if (cluster_->machine(owner).alive()) {
@@ -271,20 +321,28 @@ void GeminiSystem::StartNextIteration() {
     staged_iteration_ = iteration;
     staged_at_ = sim_.now();
   }
-  if (config_.num_replicas >= 1 && iteration % interval == interval - 1 &&
-      staged_iteration_ >= 0) {
+  if (plan.commit_staged && staged_iteration_ >= 0) {
     const int64_t snapshot_iteration = staged_iteration_;
     checkpoint_commit_event_ =
-        sim_.ScheduleAfter(std::min(execution_.checkpoint_done, execution_.iteration_time),
-                           [this, snapshot_iteration] {
-                             checkpoint_commit_event_ = EventId{};
-                             OnCheckpointCommit(snapshot_iteration);
-                           });
+        sim_.ScheduleAfter(plan.commit_delay, [this, snapshot_iteration] {
+          checkpoint_commit_event_ = EventId{};
+          OnCheckpointCommit(snapshot_iteration);
+        });
   }
-  iteration_end_event_ = sim_.ScheduleAfter(execution_.iteration_time + audit.inflation, [this] {
-    iteration_end_event_ = EventId{};
-    OnIterationComplete();
-  });
+  iteration_end_event_ = sim_.ScheduleAfter(
+      plan.iteration_duration + plan.added_stall + audit.inflation, [this] {
+        iteration_end_event_ = EventId{};
+        OnIterationComplete();
+      });
+}
+
+void GeminiSystem::DiscardStagedBlock() {
+  if (checkpoint_commit_event_.valid()) {
+    sim_.Cancel(checkpoint_commit_event_);
+    checkpoint_commit_event_ = EventId{};
+  }
+  staged_iteration_ = -1;
+  staged_snapshots_.clear();
 }
 
 std::vector<TimeNs> GeminiSystem::ObservedSpanLengths() {
@@ -400,6 +458,7 @@ void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
                {TraceAttr::Int("iteration", snapshot_iteration)});
   tracer_.Event("checkpoint_commit", "checkpoint",
                 {TraceAttr::Int("iteration", snapshot_iteration)});
+  policy_->OnCheckpointCommitted(*this, snapshot_iteration);
 }
 
 void GeminiSystem::OnIterationComplete() {
@@ -410,7 +469,8 @@ void GeminiSystem::OnIterationComplete() {
 }
 
 void GeminiSystem::MaybePersistentCheckpoint() {
-  if (sim_.now() - last_persistent_checkpoint_at_ < config_.persistent_checkpoint_interval) {
+  const TimeNs interval = policy_->PersistentInterval(*this);
+  if (interval <= 0 || sim_.now() - last_persistent_checkpoint_at_ < interval) {
     StartNextIteration();
     return;
   }
@@ -436,13 +496,6 @@ void GeminiSystem::MaybePersistentCheckpoint() {
 // Recovery (Section 6.2)
 // ---------------------------------------------------------------------------
 
-TimeNs GeminiSystem::RecoverySerializationTime() const {
-  // Each machine serializes the replicas it holds (its own plus its group
-  // peers': m copies) with torch.save before recovery proceeds.
-  const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
-  return config_.num_replicas * TransferTime(replica_bytes, config_.serialization_bandwidth);
-}
-
 void GeminiSystem::OnFailureDetected(const FailureReport& report) {
   if (!running_) {
     return;
@@ -453,6 +506,9 @@ void GeminiSystem::OnFailureDetected(const FailureReport& report) {
     AbsorbFailureDuringRecovery(report);
     return;
   }
+  // Feed the failure-rate signal the Chameleon selector keys on (pure
+  // bookkeeping: no metric or trace output).
+  auditor_.NoteFailure(sim_.now());
   recovering_ = true;
   active_case_.emplace();
   ActiveRecoveryCase& recovery_case = *active_case_;
@@ -460,7 +516,7 @@ void GeminiSystem::OnFailureDetected(const FailureReport& report) {
   recovery_case.reports.push_back(report);
   recovery_case.ranks.insert(report.ranks.begin(), report.ranks.end());
   recovery_case.first_detected_at = report.detected_at;
-  recovery_case.serialize_done_at = sim_.now() + RecoverySerializationTime();
+  recovery_case.serialize_done_at = sim_.now() + policy_->RecoverySerializationTime(*this);
   recovery_case.iteration_at_failure = trainer_->iteration();
   metrics_.counter("system.failures_detected").Increment();
   tracer_.Event("failure_detected", "recovery",
@@ -496,13 +552,14 @@ void GeminiSystem::AbsorbFailureDuringRecovery(const FailureReport& report) {
     metrics_.counter("system.failure_reports.deduplicated").Increment();
     return;
   }
+  auditor_.NoteFailure(sim_.now());
   recovery_case.reports.push_back(report);
   recovery_case.ranks.insert(report.ranks.begin(), report.ranks.end());
   if (report.type == FailureType::kHardware) {
     recovery_case.type = FailureType::kHardware;
     // Survivors re-serialize their replicas against the updated alive set.
-    recovery_case.serialize_done_at =
-        std::max(recovery_case.serialize_done_at, sim_.now() + RecoverySerializationTime());
+    recovery_case.serialize_done_at = std::max(
+        recovery_case.serialize_done_at, sim_.now() + policy_->RecoverySerializationTime(*this));
   }
   metrics_.counter("system.recoveries.preempted").Increment();
   tracer_.Event("recovery_preempted", "recovery",
@@ -519,8 +576,9 @@ void GeminiSystem::StartRecoveryAttempt() {
   ActiveRecoveryCase& recovery_case = *active_case_;
   if (recovery_case.type == FailureType::kSoftware) {
     // Restart the crashed processes: serialize the in-memory checkpoints so
-    // torch.load can read them, then warm up. Everyone restores from the
-    // local replica (Figure 6b) — zero retrieval traffic.
+    // torch.load can read them, then warm up. The policy decides the chain —
+    // GEMINI restores everyone from the local replica (Figure 6b) with zero
+    // retrieval traffic.
     const uint64_t epoch = recovery_epoch_;
     const TimeNs serialize_wait =
         std::max<TimeNs>(0, recovery_case.serialize_done_at - sim_.now());
@@ -528,7 +586,12 @@ void GeminiSystem::StartRecoveryAttempt() {
       if (epoch != recovery_epoch_ || !recovering_) {
         return;
       }
-      CompleteSoftwareRecovery();
+      RecoverySituation situation;
+      situation.type = FailureType::kSoftware;
+      situation.peer_recoverable = true;
+      situation.iteration_at_failure = active_case_->iteration_at_failure;
+      ExecuteRecoverySteps(MakeCaseRecord(), policy_->BuildRecoveryPlan(*this, situation),
+                           /*step_index=*/0, {});
     });
     return;
   }
@@ -548,8 +611,37 @@ void GeminiSystem::StartRecoveryAttempt() {
   MaybeAnalyzeHardwareCase();
 }
 
-void GeminiSystem::CompleteSoftwareRecovery() {
-  RecoveryRecord record = MakeCaseRecord();
+void GeminiSystem::ExecuteRecoverySteps(RecoveryRecord record, RecoveryPlan plan,
+                                        size_t step_index, std::vector<int> replaced_ranks) {
+  if (step_index >= plan.steps.size()) {
+    GEMINI_LOG(kError) << "recovery: the policy's fallback chain is exhausted; "
+                          "training cannot resume";
+    FinishRun();
+    return;
+  }
+  const RecoveryStep step = plan.steps[step_index];
+  switch (step.kind) {
+    case RecoveryStepKind::kRestoreFromLocalCpu:
+      RestoreFromLocalCpu(std::move(record), std::move(plan), step_index);
+      break;
+    case RecoveryStepKind::kFetchFromPeers:
+      RetrieveFromPeersAndResume(std::move(record), std::move(plan), step_index,
+                                 std::move(replaced_ranks));
+      break;
+    case RecoveryStepKind::kFetchFromPersistent:
+      RetrieveFromPersistentAndResume(std::move(record), std::move(replaced_ranks));
+      break;
+    case RecoveryStepKind::kReplayLoggedGradients:
+      ReplayLoggedGradientsAndResume(std::move(record), step);
+      break;
+    case RecoveryStepKind::kRecomputeFromPeers:
+      RecomputeFromPeersAndResume(std::move(record), step);
+      break;
+  }
+}
+
+void GeminiSystem::RestoreFromLocalCpu(RecoveryRecord record, RecoveryPlan plan,
+                                       size_t step_index) {
   record.source = RecoverySource::kLocalCpuMemory;
   std::vector<Checkpoint> checkpoints;
   for (int rank = 0; rank < config_.num_machines; ++rank) {
@@ -557,8 +649,8 @@ void GeminiSystem::CompleteSoftwareRecovery() {
         cpu_stores_[static_cast<size_t>(rank)]->LatestVerified(rank);
     if (!local.has_value()) {
       // Failure before the first commit (or a corrupted local replica): fall
-      // back to the persistent tier.
-      RetrieveFromPersistentAndResume(record, {});
+      // through to the chain's next stage (the persistent tier for GEMINI).
+      ExecuteRecoverySteps(std::move(record), std::move(plan), step_index + 1, {});
       return;
     }
     // The restarting process loads through the serialized form (the
@@ -567,7 +659,7 @@ void GeminiSystem::CompleteSoftwareRecovery() {
     const StatusOr<Checkpoint> loaded = DeserializeCheckpoint(SerializeCheckpoint(*local));
     if (!loaded.ok()) {
       GEMINI_LOG(kError) << "local checkpoint failed integrity check: " << loaded.status();
-      RetrieveFromPersistentAndResume(record, {});
+      ExecuteRecoverySteps(std::move(record), std::move(plan), step_index + 1, {});
       return;
     }
     checkpoints.push_back(*loaded);
@@ -575,7 +667,7 @@ void GeminiSystem::CompleteSoftwareRecovery() {
   const Status status = trainer_->RestoreAll(checkpoints);
   if (!status.ok()) {
     GEMINI_LOG(kError) << "software recovery failed to restore: " << status;
-    RetrieveFromPersistentAndResume(record, {});
+    ExecuteRecoverySteps(std::move(record), std::move(plan), step_index + 1, {});
     return;
   }
   record.rollback_iteration = trainer_->iteration();
@@ -622,20 +714,25 @@ void GeminiSystem::MaybeAnalyzeHardwareCase() {
       return;
     }
     // Case analysis: can every rank's checkpoint be served from CPU memory
-    // of machines that survived?
+    // of machines that survived? The policy turns the answer into its
+    // fallback chain (Section 6.2's case 1 / case 2 for GEMINI).
     RecoveryRecord record = MakeCaseRecord();
     const std::vector<int> replaced = active_case_->replaced;
     std::vector<bool> failed(static_cast<size_t>(config_.num_machines), false);
     for (const int rank : replaced) {
       failed[static_cast<size_t>(rank)] = true;
     }
-    if (placement_.Recoverable(failed)) {
-      RetrieveFromPeersAndResume(record, replaced);
-    } else {
+    RecoverySituation situation;
+    situation.type = FailureType::kHardware;
+    situation.replaced_ranks = replaced;
+    situation.peer_recoverable = placement_.Recoverable(failed);
+    situation.iteration_at_failure = active_case_->iteration_at_failure;
+    if (!situation.peer_recoverable && policy_->uses_cpu_checkpoints()) {
       GEMINI_LOG(kWarning) << "recovery: an entire placement group was lost; falling back to "
                               "persistent storage";
-      RetrieveFromPersistentAndResume(record, replaced);
     }
+    ExecuteRecoverySteps(std::move(record), policy_->BuildRecoveryPlan(*this, situation),
+                         /*step_index=*/0, replaced);
   });
 }
 
@@ -649,35 +746,36 @@ RecoveryRecord GeminiSystem::MakeCaseRecord() const {
   return record;
 }
 
-TimeNs GeminiSystem::RetryBackoff(int attempt) const {
-  if (attempt <= 0) {
-    return 0;
-  }
-  TimeNs backoff = config_.retrieval_backoff_base;
-  for (int i = 1; i < attempt && backoff < config_.retrieval_backoff_cap; ++i) {
-    backoff *= 2;
-  }
-  return std::min(backoff, config_.retrieval_backoff_cap);
+RetryPolicy GeminiSystem::RetrievalRetryPolicy() const {
+  return RetryPolicy{config_.retrieval_max_attempts, config_.retrieval_backoff_base,
+                     config_.retrieval_backoff_cap};
 }
 
 // Shared state of one peer-retrieval pass (one fetch task per replaced rank).
 struct GeminiSystem::PeerRetrievalContext {
   RecoveryRecord record;
+  // The policy's chain and our position in it, so retry exhaustion falls
+  // through to the correct next stage.
+  RecoveryPlan plan;
+  size_t step_index = 0;
   std::vector<int> replaced_ranks;
   TimeNs started = 0;
   std::vector<Checkpoint> fetched;
   int pending = 0;
-  // Set when the pass fell back to persistent storage; late transfer
+  // Set when the pass fell through to the next stage; late transfer
   // completions become no-ops.
   bool aborted = false;
 };
 
-void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record,
+void GeminiSystem::RetrieveFromPeersAndResume(RecoveryRecord record, RecoveryPlan plan,
+                                              size_t step_index,
                                               std::vector<int> replaced_ranks) {
   const uint64_t epoch = recovery_epoch_;
   record.source = RecoverySource::kRemoteCpuMemory;
   auto ctx = std::make_shared<PeerRetrievalContext>();
   ctx->record = std::move(record);
+  ctx->plan = std::move(plan);
+  ctx->step_index = step_index;
   ctx->replaced_ranks = std::move(replaced_ranks);
   ctx->started = sim_.now();
   ctx->pending = static_cast<int>(ctx->replaced_ranks.size());
@@ -698,11 +796,11 @@ void GeminiSystem::TryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, in
   if (epoch != recovery_epoch_ || ctx->aborted) {
     return;
   }
-  if (attempt >= config_.retrieval_max_attempts) {
+  if (RetrievalRetryPolicy().Exhausted(attempt)) {
     GEMINI_LOG(kWarning) << "recovery: rank " << rank << " exhausted " << attempt
                          << " retrieval attempts; falling back to persistent storage";
     ctx->aborted = true;
-    RetrieveFromPersistentAndResume(ctx->record, ctx->replaced_ranks);
+    ExecuteRecoverySteps(ctx->record, ctx->plan, ctx->step_index + 1, ctx->replaced_ranks);
     return;
   }
   // Re-derive the holder set every attempt: the alive set may have changed
@@ -718,7 +816,7 @@ void GeminiSystem::TryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, in
   const std::vector<int> holders = placement_.AliveRemoteHolders(rank, holder_alive);
   if (holders.empty()) {
     ctx->aborted = true;
-    RetrieveFromPersistentAndResume(ctx->record, ctx->replaced_ranks);
+    ExecuteRecoverySteps(ctx->record, ctx->plan, ctx->step_index + 1, ctx->replaced_ranks);
     return;
   }
   // Cycle through the holders: m-1 distinct sources first, then another
@@ -762,9 +860,10 @@ void GeminiSystem::RetryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, 
                 {TraceAttr::Int("rank", rank), TraceAttr::Int("attempt", attempt + 1)});
   GEMINI_LOG(kWarning) << "recovery: retrieval attempt " << attempt + 1 << " for rank " << rank
                        << " failed (" << why << "); retrying";
-  sim_.ScheduleAfter(RetryBackoff(attempt + 1), [this, ctx, rank, attempt, epoch] {
-    TryFetchReplica(ctx, rank, attempt + 1, epoch);
-  });
+  sim_.ScheduleAfter(RetrievalRetryPolicy().BackoffBefore(attempt + 1),
+                     [this, ctx, rank, attempt, epoch] {
+                       TryFetchReplica(ctx, rank, attempt + 1, epoch);
+                     });
 }
 
 void GeminiSystem::FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx,
@@ -790,7 +889,7 @@ void GeminiSystem::FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx
         cpu_stores_[static_cast<size_t>(rank)]->LatestVerified(rank);
     if (!local.has_value()) {
       ctx->aborted = true;
-      RetrieveFromPersistentAndResume(record, ctx->replaced_ranks);
+      ExecuteRecoverySteps(record, ctx->plan, ctx->step_index + 1, ctx->replaced_ranks);
       return;
     }
     checkpoints.push_back(*local);
@@ -799,7 +898,7 @@ void GeminiSystem::FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx
   if (!status.ok()) {
     GEMINI_LOG(kError) << "peer recovery failed to restore: " << status;
     ctx->aborted = true;
-    RetrieveFromPersistentAndResume(record, ctx->replaced_ranks);
+    ExecuteRecoverySteps(record, ctx->plan, ctx->step_index + 1, ctx->replaced_ranks);
     return;
   }
   record.rollback_iteration = trainer_->iteration();
@@ -878,6 +977,94 @@ void GeminiSystem::RetrieveFromPersistentAndResume(RecoveryRecord record,
   }
 }
 
+void GeminiSystem::ReplayLoggedGradientsAndResume(RecoveryRecord record, RecoveryStep step) {
+  const uint64_t epoch = recovery_epoch_;
+  record.source = RecoverySource::kGradientReplay;
+  const TimeNs retrieval_started = sim_.now();
+  const int64_t base = persistent_->LatestCompleteIteration();
+  if (base < 0) {
+    GEMINI_LOG(kError) << "recovery: no persistent base for gradient replay; "
+                          "training cannot resume";
+    FinishRun();
+    return;
+  }
+  // Fetch the persistent base, then replay the logged gradient stream forward
+  // to the failure iteration: the deterministic update reproduces the
+  // pre-failure states bit-exactly, so no progress is lost — only the replay
+  // stall (a fraction of an iteration per replayed iteration) is paid.
+  auto checkpoints = std::make_shared<std::vector<Checkpoint>>();
+  auto pending = std::make_shared<int>(config_.num_machines);
+  for (int rank = 0; rank < config_.num_machines; ++rank) {
+    persistent_->Retrieve(
+        rank, base,
+        [this, record, step, retrieval_started, checkpoints, pending,
+         epoch](StatusOr<Checkpoint> result) mutable {
+          if (epoch != recovery_epoch_ || !recovering_) {
+            return;
+          }
+          if (!result.ok()) {
+            GEMINI_LOG(kError) << "persistent retrieval failed: " << result.status();
+            FinishRun();
+            return;
+          }
+          checkpoints->push_back(std::move(result).value());
+          if (--*pending > 0) {
+            return;
+          }
+          const Status status = trainer_->RestoreAll(*checkpoints);
+          if (!status.ok()) {
+            GEMINI_LOG(kError) << "gradient-replay recovery failed to restore: " << status;
+            FinishRun();
+            return;
+          }
+          const int64_t base_iteration = trainer_->iteration();
+          const int64_t target = record.iteration_at_failure;
+          const Status replayed = trainer_->ReplayTo(target);
+          if (!replayed.ok()) {
+            GEMINI_LOG(kError) << "gradient replay failed: " << replayed;
+            FinishRun();
+            return;
+          }
+          const TimeNs replay_stall = static_cast<TimeNs>(
+              static_cast<double>(target - base_iteration) * step.replay_cost_fraction *
+              static_cast<double>(current_iteration_duration_));
+          record.rollback_iteration = trainer_->iteration();  // == target: zero rollback.
+          record.wasted_time = (sim_.now() - retrieval_started) + replay_stall;
+          tracer_.Span("gradient_replay", "recovery", retrieval_started,
+                       sim_.now() + replay_stall,
+                       {TraceAttr::Int("base_iteration", base_iteration),
+                        TraceAttr::Int("replayed_iterations", target - base_iteration)});
+          sim_.ScheduleAfter(replay_stall + config_.restart_warmup,
+                             [this, record, epoch]() mutable {
+                               if (epoch != recovery_epoch_ || !recovering_) {
+                                 return;
+                               }
+                               ResumeTraining(record);
+                             });
+        });
+  }
+}
+
+void GeminiSystem::RecomputeFromPeersAndResume(RecoveryRecord record, RecoveryStep step) {
+  const uint64_t epoch = recovery_epoch_;
+  record.source = RecoverySource::kPeerRecompute;
+  const TimeNs started = sim_.now();
+  // No checkpoint fetch at all: surviving peers hold enough redundancy to
+  // rebuild the lost shard in place at a fixed iterations-worth of recompute.
+  const TimeNs recompute_stall = static_cast<TimeNs>(
+      step.recompute_iterations * static_cast<double>(current_iteration_duration_));
+  record.rollback_iteration = trainer_->iteration();  // State never left GPUs.
+  record.wasted_time = recompute_stall;
+  tracer_.Span("peer_recompute", "recovery", started, started + recompute_stall,
+               {TraceAttr::Real("recompute_iterations", step.recompute_iterations)});
+  sim_.ScheduleAfter(recompute_stall + config_.restart_warmup, [this, record, epoch]() mutable {
+    if (epoch != recovery_epoch_ || !recovering_) {
+      return;
+    }
+    ResumeTraining(record);
+  });
+}
+
 void GeminiSystem::ResumeTraining(RecoveryRecord record) {
   record.training_resumed_at = sim_.now();
   record.downtime = record.training_resumed_at - record.failure_detected_at;
@@ -936,6 +1123,12 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
       case RecoverySource::kPersistentStorage:
         metrics_.counter("system.recoveries.persistent").Increment();
         break;
+      case RecoverySource::kGradientReplay:
+        metrics_.counter("system.recoveries.replay").Increment();
+        break;
+      case RecoverySource::kPeerRecompute:
+        metrics_.counter("system.recoveries.recompute").Increment();
+        break;
     }
     metrics_.histogram("system.recovery.downtime_seconds")
         .Observe(static_cast<double>(emitted.downtime) / 1e9);
@@ -963,7 +1156,7 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
     root_agent_->ClearHandled(case_ranks);
     root_agent_->SetPaused(false);
   }
-  if (!replaced.empty()) {
+  if (!replaced.empty() && policy_->uses_cpu_checkpoints()) {
     QueueReprotection(replaced, degraded_since);
   }
   MaybeStartReprotection();
@@ -1083,6 +1276,12 @@ SystemSnapshot GeminiSystem::Snapshot() const {
         break;
       case RecoverySource::kPersistentStorage:
         ++snapshot.recoveries_from_persistent;
+        break;
+      case RecoverySource::kGradientReplay:
+        ++snapshot.recoveries_from_replay;
+        break;
+      case RecoverySource::kPeerRecompute:
+        ++snapshot.recoveries_from_recompute;
         break;
     }
   }

@@ -41,6 +41,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/run_tracer.h"
 #include "src/placement/placement.h"
+#include "src/policy/protection_policy.h"
 #include "src/schedule/executor.h"
 #include "src/storage/cpu_store.h"
 #include "src/storage/persistent_store.h"
@@ -101,14 +102,31 @@ struct GeminiConfig {
   // proposal — one consensus round per checkpoint block). Off by default so
   // default-config runs generate no extra KV traffic.
   bool publish_checkpoint_watermark = false;
+  // Protection-policy engine: which strategy guards training (GEMINI
+  // in-memory checkpoints by default) plus the per-policy knobs and the
+  // online Chameleon selector's switch rules.
+  PolicyConfig policy;
   AgentConfig agent;
   CloudOperatorConfig cloud;
   KvStoreConfig kvstore;
   PersistentStoreConfig persistent;
   uint64_t seed = 42;
+
+  // Knob sanity for the whole config (machine/replica counts, positive
+  // bandwidths and intervals, policy knobs). Initialize() and Create() both
+  // reject invalid configs through this one gate.
+  Status Validate() const;
 };
 
-enum class RecoverySource { kLocalCpuMemory, kRemoteCpuMemory, kPersistentStorage };
+enum class RecoverySource {
+  kLocalCpuMemory,
+  kRemoteCpuMemory,
+  kPersistentStorage,
+  // Persistent base + deterministic gradient replay (Checkmate-style).
+  kGradientReplay,
+  // Lost state rebuilt in place from peer redundancy (recompute policies).
+  kPeerRecompute,
+};
 
 std::string_view RecoverySourceName(RecoverySource source);
 
@@ -158,6 +176,8 @@ struct SystemSnapshot {
   int64_t recoveries_from_local_cpu = 0;
   int64_t recoveries_from_remote_cpu = 0;
   int64_t recoveries_from_persistent = 0;
+  int64_t recoveries_from_replay = 0;
+  int64_t recoveries_from_recompute = 0;
   int root_rank = 0;
 
   // Interference audit headline numbers (tentpole observability).
@@ -188,13 +208,18 @@ struct TrainingReport {
   }
 };
 
-class GeminiSystem {
+class GeminiSystem : public PolicyHost {
  public:
   explicit GeminiSystem(GeminiConfig config);
-  ~GeminiSystem();
+  ~GeminiSystem() override;
 
   GeminiSystem(const GeminiSystem&) = delete;
   GeminiSystem& operator=(const GeminiSystem&) = delete;
+
+  // Validating factory: rejects a bad config (GeminiConfig::Validate) before
+  // any substrate is built, then runs Initialize(). The one-step entry point
+  // examples and benches should prefer.
+  static StatusOr<std::unique_ptr<GeminiSystem>> Create(GeminiConfig config);
 
   // Builds the substrate, computes the placement, profiles the timeline,
   // plans checkpoint traffic, starts agents, and seeds the persistent store
@@ -212,9 +237,9 @@ class GeminiSystem {
   // "kv.*", "agent.*", "system.*", ...) and the tracer records the run's
   // span/event timeline (iterations, checkpoint blocks, failure->resume
   // windows). Both are deterministic: same seed, same export bytes.
-  MetricsRegistry& metrics() { return metrics_; }
+  MetricsRegistry& metrics() override { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
-  RunTracer& tracer() { return tracer_; }
+  RunTracer& tracer() override { return tracer_; }
   const RunTracer& tracer() const { return tracer_; }
   InterferenceAuditor& auditor() { return auditor_; }
   const InterferenceAuditor& auditor() const { return auditor_; }
@@ -233,7 +258,7 @@ class GeminiSystem {
   SystemSnapshot Snapshot() const;
 
   // ---- Introspection ------------------------------------------------------
-  Simulator& sim() { return sim_; }
+  Simulator& sim() override { return sim_; }
   Cluster& cluster() { return *cluster_; }
   KvStoreCluster& kvstore() { return *kvstore_; }
   FailureInjector& failure_injector() { return *injector_; }
@@ -245,12 +270,49 @@ class GeminiSystem {
   const ExecutionResult& iteration_execution() const { return execution_; }
   // Checkpoint every k iterations (k > 1 when the traffic does not fit one
   // iteration's idle time; Section 5.3 frequency amortization).
-  int checkpoint_interval_iterations() const { return checkpoint_interval_iterations_; }
+  int checkpoint_interval_iterations() const override {
+    return checkpoint_interval_iterations_;
+  }
   const ProfileResult& profile() const { return profile_; }
   const TrainingReport& report() const { return report_; }
   const GeminiConfig& config() const { return config_; }
+  // The active protection policy (a ChameleonSelector under kChameleon).
+  ProtectionPolicy& policy() { return *policy_; }
+  const ProtectionPolicy& policy() const { return *policy_; }
   int root_rank() const { return root_rank_; }
   bool recovering() const { return recovering_; }
+
+  // ---- PolicyHost (the slice policies program against) --------------------
+  const ExecutionResult& execution() const override { return execution_; }
+  int num_machines() const override { return config_.num_machines; }
+  int num_replicas() const override { return config_.num_replicas; }
+  Bytes replica_bytes() const override {
+    return config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  }
+  int64_t current_iteration() const override {
+    return trainer_ != nullptr ? trainer_->iteration() : 0;
+  }
+  TimeNs default_persistent_interval() const override {
+    return config_.persistent_checkpoint_interval;
+  }
+  BytesPerSecond serialization_bandwidth() const override {
+    return config_.serialization_bandwidth;
+  }
+  TimeNs restart_warmup() const override { return config_.restart_warmup; }
+  BytesPerSecond persistent_bandwidth() const override {
+    return config_.persistent.aggregate_bandwidth;
+  }
+  BytesPerSecond network_bandwidth() const override {
+    return config_.instance.network_bandwidth;
+  }
+  double observed_failure_rate_per_hour() const override {
+    return auditor_.ObservedFailureRatePerHour(sim_.now());
+  }
+  TimeNs interference_inflation() const override { return auditor_.total_inflation(); }
+  double degraded_seconds() const override {
+    return metrics_.gauge_value("system.redundancy.degraded_seconds");
+  }
+  void DiscardStagedBlock() override;
 
  private:
   // ---- Training loop ----
@@ -298,23 +360,38 @@ class GeminiSystem {
   // (Re)starts the case under a fresh epoch: software cases schedule the
   // local restore, hardware cases replace any still-dead ranks first.
   void StartRecoveryAttempt();
-  void CompleteSoftwareRecovery();
   void OnMachineReplaced(int rank, Machine& machine);
   // Once no replacement is pending, schedules the Section 6.2 case analysis
   // after the serialization window.
   void MaybeAnalyzeHardwareCase();
   RecoveryRecord MakeCaseRecord() const;
-  // Case 1: fetch replacements' checkpoints from alive group peers, retrying
-  // across all holders (capped exponential backoff, CRC per attempt).
-  void RetrieveFromPeersAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
+  // Runs the policy's fallback chain from `step_index`: each step executor
+  // either resumes training or falls through to the next step; an exhausted
+  // chain ends the run.
+  void ExecuteRecoverySteps(RecoveryRecord record, RecoveryPlan plan, size_t step_index,
+                            std::vector<int> replaced_ranks);
+  // kRestoreFromLocalCpu: every rank reloads its own CPU replica through the
+  // serialized (CRC-guarded) form.
+  void RestoreFromLocalCpu(RecoveryRecord record, RecoveryPlan plan, size_t step_index);
+  // kFetchFromPeers: fetch replacements' checkpoints from alive group peers,
+  // retrying across all holders (capped exponential backoff, CRC per
+  // attempt); exhaustion falls through to the chain's next step.
+  void RetrieveFromPeersAndResume(RecoveryRecord record, RecoveryPlan plan, size_t step_index,
+                                  std::vector<int> replaced_ranks);
   void TryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank, int attempt,
                        uint64_t epoch);
   void RetryFetchReplica(std::shared_ptr<PeerRetrievalContext> ctx, int rank, int attempt,
                          uint64_t epoch, const Status& why);
   void FinishPeerRetrieval(std::shared_ptr<PeerRetrievalContext> ctx, uint64_t epoch);
-  TimeNs RetryBackoff(int attempt) const;
-  // Case 2: roll everyone back to the persistent tier.
+  RetryPolicy RetrievalRetryPolicy() const;
+  // kFetchFromPersistent: roll everyone back to the persistent tier.
   void RetrieveFromPersistentAndResume(RecoveryRecord record, std::vector<int> replaced_ranks);
+  // kReplayLoggedGradients: persistent base + deterministic replay of the
+  // logged gradient stream to the failure iteration (zero rollback).
+  void ReplayLoggedGradientsAndResume(RecoveryRecord record, RecoveryStep step);
+  // kRecomputeFromPeers: rebuild lost state in place from peer redundancy at
+  // a fixed iterations-worth of recompute cost.
+  void RecomputeFromPeersAndResume(RecoveryRecord record, RecoveryStep step);
   void ResumeTraining(RecoveryRecord record);
   void RestartAgentsForRank(int rank);
   void OnWorkerPromotedToRoot(int rank);
@@ -328,10 +405,6 @@ class GeminiSystem {
   // the vulnerability window as system.redundancy.degraded_seconds.
   void QueueReprotection(const std::vector<int>& targets, TimeNs degraded_since);
   void MaybeStartReprotection();
-
-  // Serialization time for the replicas each machine holds (torch.save at
-  // recovery; Figure 14's 162 s).
-  TimeNs RecoverySerializationTime() const;
 
   GeminiConfig config_;
   Simulator sim_;
@@ -353,6 +426,13 @@ class GeminiSystem {
   std::vector<std::unique_ptr<WorkerAgent>> workers_;
   std::unique_ptr<RootAgent> root_agent_;
   int root_rank_ = 0;
+
+  // The active protection strategy (never null after Initialize). The host
+  // executes what the policy decides; policies never reach system internals.
+  std::unique_ptr<ProtectionPolicy> policy_;
+  // The duration the active policy assigned the current iteration; prices
+  // replay/recompute stalls (GeminiPolicy keeps it at the scheduled time).
+  TimeNs current_iteration_duration_ = 0;
 
   PlacementPlan placement_;
   IterationTimeline timeline_;

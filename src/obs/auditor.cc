@@ -153,4 +153,23 @@ void InterferenceAuditor::NoteBackgroundTransfer(int span_index, Bytes bytes, Ti
   }
 }
 
+void InterferenceAuditor::NoteFailure(TimeNs now) { failure_times_.push_back(now); }
+
+double InterferenceAuditor::ObservedFailureRatePerHour(TimeNs now) const {
+  if (config_.failure_rate_window <= 0) {
+    return 0.0;
+  }
+  const TimeNs window_start = now - config_.failure_rate_window;
+  int64_t in_window = 0;
+  for (auto it = failure_times_.rbegin(); it != failure_times_.rend(); ++it) {
+    if (*it < window_start) {
+      break;  // Timestamps arrive in simulated-time order.
+    }
+    ++in_window;
+  }
+  const double window_hours =
+      static_cast<double>(config_.failure_rate_window) / static_cast<double>(kHour);
+  return static_cast<double>(in_window) / window_hours;
+}
+
 }  // namespace gemini

@@ -56,6 +56,9 @@ struct AuditorConfig {
   int consecutive_iterations = 3;
   // Upper bound on hook firings per run; guards against oscillation.
   int max_reprofiles = 4;
+  // Sliding window over which NoteFailure events are converted into the
+  // observed failure rate (the Chameleon selector's primary signal).
+  TimeNs failure_rate_window = Hours(1);
 };
 
 // Interference attribution for one idle span: walk the chunks planned into
@@ -115,6 +118,13 @@ class InterferenceAuditor {
   // ("obs.background.{chunks,bytes}" counters).
   void NoteBackgroundTransfer(int span_index, Bytes bytes, TimeNs start, TimeNs end);
 
+  // Failure-rate observation: the system reports each detected failure, and
+  // the rate is the count inside the trailing `failure_rate_window` scaled to
+  // per-hour. Purely simulated-time arithmetic — deterministic.
+  void NoteFailure(TimeNs now);
+  double ObservedFailureRatePerHour(TimeNs now) const;
+  int64_t failures_noted() const { return static_cast<int64_t>(failure_times_.size()); }
+
   // Hook fired when drift persists; GeminiSystem points this at its online
   // re-profile + re-partition path. Fired at most `max_reprofiles` times.
   void set_on_drift(std::function<void(int64_t iteration)> hook) { on_drift_ = std::move(hook); }
@@ -150,6 +160,9 @@ class InterferenceAuditor {
   std::vector<std::vector<TimeNs>> span_chunk_costs_;
 
   std::vector<double> drift_ewma_;
+  // Detection times of every failure reported via NoteFailure (append-only;
+  // the window scan walks back from the end).
+  std::vector<TimeNs> failure_times_;
   int consecutive_drifted_ = 0;
   int64_t audits_ = 0;
   int64_t reprofiles_ = 0;

@@ -1,0 +1,64 @@
+#include "src/policy/gemini_policy.h"
+
+#include <algorithm>
+
+namespace gemini {
+
+IterationPlan GeminiPolicy::PlanIteration(PolicyHost& host, int64_t iteration,
+                                          bool has_staged_block) {
+  (void)has_staged_block;
+  // Checkpoint block structure (Section 5.3): stage at the start of a
+  // k-iteration block, commit during the block's last iteration once the
+  // Algorithm-2 transmission time has elapsed (never past iteration end).
+  const int interval = host.checkpoint_interval_iterations();
+  IterationPlan plan;
+  plan.stage_snapshot = iteration % interval == 0;
+  plan.commit_staged = host.num_replicas() >= 1 && iteration % interval == interval - 1;
+  plan.commit_delay =
+      std::min(host.execution().checkpoint_done, host.execution().iteration_time);
+  plan.iteration_duration = host.execution().iteration_time;
+  return plan;
+}
+
+TimeNs GeminiPolicy::PersistentInterval(const PolicyHost& host) const {
+  return host.default_persistent_interval();
+}
+
+TimeNs GeminiPolicy::RecoverySerializationTime(const PolicyHost& host) const {
+  // Each machine serializes the m replicas it holds with torch.save before
+  // recovery proceeds (Figure 14's 162 s).
+  return host.num_replicas() *
+         TransferTime(host.replica_bytes(), host.serialization_bandwidth());
+}
+
+RecoveryPlan GeminiPolicy::BuildRecoveryPlan(const PolicyHost& host,
+                                             const RecoverySituation& situation) const {
+  (void)host;
+  // Section 6.2's cases, as fallback chains: software restores locally,
+  // hardware case 1 fetches from group peers, and everything degrades to the
+  // persistent tier (case 2, or any exhausted/corrupted chain above it).
+  RecoveryPlan plan;
+  if (situation.type == FailureType::kSoftware) {
+    plan.steps.push_back({RecoveryStepKind::kRestoreFromLocalCpu});
+  } else if (situation.peer_recoverable) {
+    plan.steps.push_back({RecoveryStepKind::kFetchFromPeers});
+  }
+  plan.steps.push_back({RecoveryStepKind::kFetchFromPersistent});
+  return plan;
+}
+
+PolicyCostReport GeminiPolicy::CostReport(const PolicyHost& host) const {
+  PolicyCostReport report;
+  report.steady_state_overhead_fraction = host.execution().overhead_fraction;
+  // Typical path: hardware case 1, one replica crossing the network at line
+  // rate (software recovery moves no bytes at all).
+  report.expected_recovery_fetch_time =
+      TransferTime(host.replica_bytes(), host.network_bandwidth());
+  // CPU checkpoints land every interval; a uniform failure instant loses
+  // half an interval on average.
+  report.expected_rollback_iterations =
+      static_cast<double>(host.checkpoint_interval_iterations()) / 2.0;
+  return report;
+}
+
+}  // namespace gemini

@@ -1,0 +1,116 @@
+#include "src/policy/protection_policy.h"
+
+#include <string>
+
+#include "src/policy/chameleon_selector.h"
+#include "src/policy/checkmate_policy.h"
+#include "src/policy/gemini_policy.h"
+#include "src/policy/recompute_policy.h"
+#include "src/policy/tiercheck_policy.h"
+
+namespace gemini {
+
+std::string_view PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kGemini:
+      return "gemini";
+    case PolicyKind::kTierCheck:
+      return "tiercheck";
+    case PolicyKind::kCheckmate:
+      return "checkmate";
+    case PolicyKind::kRecompute:
+      return "recompute";
+    case PolicyKind::kChameleon:
+      return "chameleon";
+  }
+  return "unknown";
+}
+
+std::string_view RecoveryStepKindName(RecoveryStepKind kind) {
+  switch (kind) {
+    case RecoveryStepKind::kRestoreFromLocalCpu:
+      return "restore_from_local_cpu";
+    case RecoveryStepKind::kFetchFromPeers:
+      return "fetch_from_peers";
+    case RecoveryStepKind::kFetchFromPersistent:
+      return "fetch_from_persistent";
+    case RecoveryStepKind::kReplayLoggedGradients:
+      return "replay_logged_gradients";
+    case RecoveryStepKind::kRecomputeFromPeers:
+      return "recompute_from_peers";
+  }
+  return "unknown";
+}
+
+void ProtectionPolicy::Activate(PolicyHost& host) {
+  // Publish the self-reported overhead so selectors and benches read every
+  // policy's economics from one place, whether or not it ever ran.
+  const PolicyCostReport report = CostReport(host);
+  host.metrics()
+      .gauge("policy." + std::string(name()) + ".overhead_fraction")
+      .Set(report.steady_state_overhead_fraction);
+  host.metrics()
+      .gauge("policy." + std::string(name()) + ".expected_rollback_iterations")
+      .Set(report.expected_rollback_iterations);
+}
+
+void ProtectionPolicy::Deactivate(PolicyHost& host) { (void)host; }
+
+void ProtectionPolicy::OnCheckpointCommitted(PolicyHost& host, int64_t iteration) {
+  (void)host;
+  (void)iteration;
+}
+
+Status PolicyConfig::Validate() const {
+  if (tiercheck.persistent_interval <= 0) {
+    return InvalidArgumentError("tiercheck.persistent_interval must be positive");
+  }
+  if (tiercheck.overhead_budget <= 0.0 || tiercheck.overhead_budget >= 1.0) {
+    return InvalidArgumentError("tiercheck.overhead_budget must be in (0, 1)");
+  }
+  if (checkmate.gradient_bytes_fraction <= 0.0 || checkmate.gradient_bytes_fraction > 1.0) {
+    return InvalidArgumentError("checkmate.gradient_bytes_fraction must be in (0, 1]");
+  }
+  if (checkmate.stall_fraction < 0.0 || checkmate.stall_fraction >= 1.0) {
+    return InvalidArgumentError("checkmate.stall_fraction must be in [0, 1)");
+  }
+  if (checkmate.replay_cost_fraction < 0.0 || checkmate.replay_cost_fraction > 1.0) {
+    return InvalidArgumentError("checkmate.replay_cost_fraction must be in [0, 1]");
+  }
+  if (recompute.recompute_iterations < 0.0) {
+    return InvalidArgumentError("recompute.recompute_iterations must be non-negative");
+  }
+  if (chameleon.initial == PolicyKind::kChameleon) {
+    return InvalidArgumentError("chameleon.initial must name a concrete policy");
+  }
+  if (chameleon.decision_interval_iterations < 1) {
+    return InvalidArgumentError("chameleon.decision_interval_iterations must be >= 1");
+  }
+  if (chameleon.min_iterations_between_switches < 0) {
+    return InvalidArgumentError("chameleon.min_iterations_between_switches must be >= 0");
+  }
+  if (chameleon.low_failure_rate_per_hour < 0.0 ||
+      chameleon.high_failure_rate_per_hour <= chameleon.low_failure_rate_per_hour) {
+    return InvalidArgumentError(
+        "chameleon failure-rate band must satisfy 0 <= low < high");
+  }
+  return Status::Ok();
+}
+
+std::unique_ptr<ProtectionPolicy> MakeProtectionPolicy(const PolicyConfig& config) {
+  switch (config.kind) {
+    case PolicyKind::kGemini:
+      return std::make_unique<GeminiPolicy>();
+    case PolicyKind::kTierCheck:
+      return std::make_unique<TierCheckPolicy>(config.tiercheck);
+    case PolicyKind::kCheckmate:
+      return std::make_unique<CheckmatePolicy>(config.checkmate);
+    case PolicyKind::kRecompute:
+      return std::make_unique<RecomputePolicy>(config.recompute);
+    case PolicyKind::kChameleon:
+      return std::make_unique<ChameleonSelector>(config);
+  }
+  return std::make_unique<GeminiPolicy>();
+}
+
+}  // namespace gemini

@@ -1,0 +1,255 @@
+// Pluggable protection-policy engine (the ROADMAP's Chameleon direction).
+//
+// GEMINI's in-memory checkpointing is one point in the failure-recovery
+// design space; Checkmate-style gradient replication, tiered CPU+persistent
+// checkpointing, and recompute-from-peers occupy others. This seam makes the
+// *strategy* pluggable while GeminiSystem keeps owning the *mechanisms*
+// (event loop, replacement, retrieval cascades, resume bookkeeping):
+//
+//  * `ProtectionPolicy` decides per-iteration capture/commit, the persistent
+//    cadence, the recovery serialization bill, and — per failure — an ordered
+//    fallback chain of `RecoveryStep`s the host executes. It self-reports its
+//    steady-state cost so selectors and benches compare policies uniformly.
+//  * `PolicyHost` is the narrow view of GeminiSystem a policy programs
+//    against (simulated clock, observability, schedule facts, and the
+//    auditor-derived signals the online selector feeds on). Policies never
+//    see concrete system types, so they cannot reach around the seam.
+//
+// The default `GeminiPolicy` reproduces the pre-refactor behavior decision
+// for decision: same event order, same timing, byte-identical BENCH exports.
+#ifndef SRC_POLICY_PROTECTION_POLICY_H_
+#define SRC_POLICY_PROTECTION_POLICY_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/agent/failure_injector.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_tracer.h"
+#include "src/schedule/executor.h"
+#include "src/sim/simulator.h"
+
+namespace gemini {
+
+enum class PolicyKind {
+  kGemini,     // In-memory CPU checkpoints every iteration (the paper).
+  kTierCheck,  // CPU checkpoints + a much faster persistent cadence.
+  kCheckmate,  // Per-iteration gradient replication; recovery replays the log.
+  kRecompute,  // No checkpoints; recompute lost state from peer redundancy.
+  kChameleon,  // Online selector switching between the four above.
+};
+
+std::string_view PolicyKindName(PolicyKind kind);
+
+// What the policy wants done for one iteration, decided at iteration start.
+struct IterationPlan {
+  // Capture a consistent snapshot of every alive rank into the staging
+  // buffers (the start of a checkpoint block).
+  bool stage_snapshot = false;
+  // Schedule the staged block's commit into the holders' CPU stores,
+  // `commit_delay` after iteration start (the Algorithm-2 transmission time).
+  bool commit_staged = false;
+  TimeNs commit_delay = 0;
+  // The iteration's duration under this policy, before any audit-attributed
+  // interference inflation. GeminiPolicy returns the Algorithm-2 scheduled
+  // iteration time; checkpoint-free policies return the baseline.
+  TimeNs iteration_duration = 0;
+  // Extra per-iteration stall the policy charges on top (e.g. Checkmate's
+  // gradient-replication tax).
+  TimeNs added_stall = 0;
+};
+
+// One stage of a recovery fallback chain. The host executes stages in order;
+// a stage that cannot produce a restorable state falls through to the next.
+enum class RecoveryStepKind {
+  kRestoreFromLocalCpu,    // Every rank reloads its own CPU replica.
+  kFetchFromPeers,         // Replaced ranks fetch replicas from group peers.
+  kFetchFromPersistent,    // Everyone rolls back to the persistent tier.
+  kReplayLoggedGradients,  // Persistent base + deterministic gradient replay.
+  kRecomputeFromPeers,     // Rebuild lost state from peer redundancy in place.
+};
+
+std::string_view RecoveryStepKindName(RecoveryStepKind kind);
+
+struct RecoveryStep {
+  RecoveryStepKind kind = RecoveryStepKind::kFetchFromPersistent;
+  // kReplayLoggedGradients: fraction of an iteration's time each replayed
+  // iteration costs (replay skips the forward pass's data loading / eval).
+  double replay_cost_fraction = 0.0;
+  // kRecomputeFromPeers: iterations-worth of recompute work, independent of
+  // how far back the failure reaches.
+  double recompute_iterations = 0.0;
+};
+
+struct RecoveryPlan {
+  std::vector<RecoveryStep> steps;
+};
+
+// Everything a policy may condition a recovery plan on.
+struct RecoverySituation {
+  FailureType type = FailureType::kSoftware;
+  // Freshly replaced (empty-DRAM) ranks; empty for software failures.
+  std::vector<int> replaced_ranks;
+  // Whether every replaced rank's checkpoint is servable from surviving
+  // group peers (Algorithm 1's Recoverable predicate).
+  bool peer_recoverable = true;
+  int64_t iteration_at_failure = 0;
+};
+
+// Self-reported steady-state economics, on the fig09/fig14 cost vocabulary.
+struct PolicyCostReport {
+  // Fraction of iteration time spent on protection (checkpoint traffic,
+  // replication stall, serialization amortization).
+  double steady_state_overhead_fraction = 0.0;
+  // Expected wall-clock from failure detection to resumed training for the
+  // policy's *typical* (first-chain) recovery path, excluding fixed warmup.
+  TimeNs expected_recovery_fetch_time = 0;
+  // Expected iterations of progress lost at a random failure instant.
+  double expected_rollback_iterations = 0.0;
+};
+
+// The slice of GeminiSystem a policy sees. Const accessors answer questions;
+// the non-const ones let a policy (or the selector) touch shared services.
+class PolicyHost {
+ public:
+  virtual ~PolicyHost() = default;
+
+  virtual Simulator& sim() = 0;
+  virtual MetricsRegistry& metrics() = 0;
+  virtual RunTracer& tracer() = 0;
+
+  // Schedule facts (Algorithm 2 outcome, Section 5.3 interval).
+  virtual const ExecutionResult& execution() const = 0;
+  virtual int checkpoint_interval_iterations() const = 0;
+
+  virtual int num_machines() const = 0;
+  virtual int num_replicas() const = 0;
+  virtual Bytes replica_bytes() const = 0;
+  virtual int64_t current_iteration() const = 0;
+
+  // Config-derived knobs policies price their decisions with.
+  virtual TimeNs default_persistent_interval() const = 0;
+  virtual BytesPerSecond serialization_bandwidth() const = 0;
+  virtual TimeNs restart_warmup() const = 0;
+  virtual BytesPerSecond persistent_bandwidth() const = 0;
+  virtual BytesPerSecond network_bandwidth() const = 0;
+
+  // Online signals (auditor + redundancy gauge) the Chameleon selector keys
+  // its switch rules on.
+  virtual double observed_failure_rate_per_hour() const = 0;
+  virtual TimeNs interference_inflation() const = 0;
+  virtual double degraded_seconds() const = 0;
+
+  // Drops any half-built checkpoint block (used when a policy switch makes
+  // the staged snapshots meaningless).
+  virtual void DiscardStagedBlock() = 0;
+};
+
+class ProtectionPolicy {
+ public:
+  virtual ~ProtectionPolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  virtual std::string_view name() const = 0;
+
+  // Called when the policy becomes (or stops being) the active strategy.
+  // Activate resolves metric handles and publishes the policy's overhead
+  // gauge ("policy.<name>.overhead_fraction").
+  virtual void Activate(PolicyHost& host);
+  virtual void Deactivate(PolicyHost& host);
+
+  // Whether the policy maintains CPU-memory replicas (drives re-protection
+  // after hardware recovery and the group-loss warning).
+  virtual bool uses_cpu_checkpoints() const = 0;
+
+  // Decide this iteration's capture/commit/stall. `has_staged_block` reports
+  // whether a previous iteration's snapshots are still staged.
+  virtual IterationPlan PlanIteration(PolicyHost& host, int64_t iteration,
+                                      bool has_staged_block) = 0;
+
+  // Bookkeeping hook after a staged block lands in the holders' stores.
+  virtual void OnCheckpointCommitted(PolicyHost& host, int64_t iteration);
+
+  // Cadence of the blocking persistent-tier checkpoint; <= 0 disables it.
+  virtual TimeNs PersistentInterval(const PolicyHost& host) const = 0;
+
+  // torch.save bill paid before recovery proceeds (serializing the in-memory
+  // replicas each machine holds); zero for policies without CPU replicas.
+  virtual TimeNs RecoverySerializationTime(const PolicyHost& host) const = 0;
+
+  // The ordered fallback chain for this failure.
+  virtual RecoveryPlan BuildRecoveryPlan(const PolicyHost& host,
+                                         const RecoverySituation& situation) const = 0;
+
+  virtual PolicyCostReport CostReport(const PolicyHost& host) const = 0;
+};
+
+// ---- Policy configuration ---------------------------------------------------
+
+struct TierCheckOptions {
+  // Persistent cadence (vs. GEMINI's hours-scale default): pay the
+  // serialization stall often, bound the worst-case rollback tightly.
+  TimeNs persistent_interval = Minutes(30);
+  // Cap on the persistent serialization stall as a fraction of training
+  // time; the policy stretches the interval to stay under it (CheckFreq's
+  // budgeted-frequency idea, shared via cost_model.h).
+  double overhead_budget = 0.035;
+};
+
+struct CheckmateOptions {
+  // Gradient bytes per iteration relative to the full model-state shard
+  // (gradients are one of the six mixed-precision state copies).
+  double gradient_bytes_fraction = 1.0 / 6.0;
+  // Per-iteration training stall of logging gradients to peers (they ride
+  // the backward pass's existing all-reduce; near-zero by design).
+  double stall_fraction = 0.002;
+  // Cost of replaying one logged iteration relative to executing it.
+  double replay_cost_fraction = 0.5;
+};
+
+struct RecomputeOptions {
+  // Iterations-worth of recompute work to rebuild a lost shard from peer
+  // activations/redundancy ("All is Not Lost" layer-level recompute).
+  double recompute_iterations = 2.0;
+};
+
+struct ChameleonOptions {
+  PolicyKind initial = PolicyKind::kGemini;
+  // Switch rules are evaluated every `decision_interval_iterations`, with at
+  // least `min_iterations_between_switches` between switches (hysteresis).
+  int64_t decision_interval_iterations = 16;
+  int64_t min_iterations_between_switches = 32;
+  // Failure-rate band (failures/hour, auditor-observed): above the high
+  // water mark buy the fastest recovery (GEMINI); below the low water mark
+  // shed checkpoint overhead (Checkmate).
+  double high_failure_rate_per_hour = 1.0;
+  double low_failure_rate_per_hour = 0.05;
+  // Redundancy-degradation growth per decision window (seconds of
+  // `system.redundancy.degraded_seconds`) that tips toward TierCheck's
+  // tighter persistent cadence.
+  double degraded_seconds_threshold = 60.0;
+  // Interference-inflation growth per decision window that tips toward
+  // Checkmate (checkpoint traffic is colliding with training).
+  TimeNs interference_inflation_threshold = Seconds(2);
+};
+
+struct PolicyConfig {
+  PolicyKind kind = PolicyKind::kGemini;
+  TierCheckOptions tiercheck;
+  CheckmateOptions checkmate;
+  RecomputeOptions recompute;
+  ChameleonOptions chameleon;
+
+  // Knob sanity (fractions in range, intervals positive where required).
+  Status Validate() const;
+};
+
+// Builds the configured policy (a ChameleonSelector for kChameleon).
+std::unique_ptr<ProtectionPolicy> MakeProtectionPolicy(const PolicyConfig& config);
+
+}  // namespace gemini
+
+#endif  // SRC_POLICY_PROTECTION_POLICY_H_

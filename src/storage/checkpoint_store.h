@@ -1,0 +1,84 @@
+// Common checkpoint-tier surface.
+//
+// GEMINI's two storage tiers — per-machine CPU memory and the remote
+// persistent store — grew separate read paths with mirrored retry/CRC
+// cascades (the PR 3 peer-retrieval cascade and its PR 4 persistent-tier
+// copy). The protection policies program against one seam instead:
+//
+//  * `CheckpointStore` is the tier interface every recovery read goes
+//    through: the latest CRC-verified checkpoint a tier can serve for an
+//    owner, the iteration it is at, and the corruption door the chaos suite
+//    drives. `CpuCheckpointStore` and `PersistentStore` both implement it,
+//    so a policy's recovery plan can name a tier without naming a type.
+//  * `RetryPolicy` is the one copy of the capped-exponential-backoff
+//    schedule both cascades follow (attempt 0 is immediate; attempt n waits
+//    base * 2^(n-1), capped).
+#ifndef SRC_STORAGE_CHECKPOINT_STORE_H_
+#define SRC_STORAGE_CHECKPOINT_STORE_H_
+
+#include <algorithm>
+#include <optional>
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/storage/checkpoint.h"
+
+namespace gemini {
+
+// Shared retry schedule for checkpoint retrieval cascades. Both tiers (and
+// the peer-retrieval pass in GeminiSystem) construct one from their config
+// knobs, so the backoff curve cannot drift between the copies it replaced.
+struct RetryPolicy {
+  int max_attempts = 4;
+  TimeNs backoff_base = Millis(100);
+  TimeNs backoff_cap = Seconds(2);
+
+  // Delay before (1-based) `attempt`: 0 for attempt <= 0, then the base
+  // doubling per attempt until the cap. Exactly the schedule the PR 3 / PR 4
+  // cascades used.
+  TimeNs BackoffBefore(int attempt) const {
+    if (attempt <= 0) {
+      return 0;
+    }
+    TimeNs backoff = backoff_base;
+    for (int i = 1; i < attempt && backoff < backoff_cap; ++i) {
+      backoff *= 2;
+    }
+    return std::min(backoff, backoff_cap);
+  }
+
+  // True once `attempt` (0-based count of attempts already made) has
+  // exhausted the cap.
+  bool Exhausted(int attempts_made) const { return attempts_made >= max_attempts; }
+};
+
+// One tier of checkpoint storage, as the recovery paths see it. Writes stay
+// tier-specific (chunked double-buffered writes for CPU memory, bandwidth-
+// queued uploads for the persistent store); the *read-for-recovery* surface
+// is shared so policies and fallback chains can treat tiers uniformly.
+class CheckpointStore {
+ public:
+  virtual ~CheckpointStore() = default;
+
+  // Short stable tier label ("cpu_memory", "persistent") used in logs,
+  // traces, and metric keys.
+  virtual std::string_view tier_name() const = 0;
+
+  // Latest checkpoint this tier can serve for `owner_rank` whose payload
+  // still matches its capture-time CRC. A replica whose bytes no longer
+  // verify is treated as absent (and counted in the tier's crc_failures
+  // metric) — no recovery path may restore unverified bytes.
+  virtual std::optional<Checkpoint> LatestVerified(int owner_rank) const = 0;
+
+  // Iteration of the latest checkpoint servable for `owner_rank`, or -1.
+  virtual int64_t LatestIteration(int owner_rank) const = 0;
+
+  // Fault-injection door: flips one payload bit of the owner's latest
+  // servable checkpoint so the CRC reads above have something to catch.
+  virtual Status CorruptLatest(int owner_rank, size_t bit_index) = 0;
+};
+
+}  // namespace gemini
+
+#endif  // SRC_STORAGE_CHECKPOINT_STORE_H_

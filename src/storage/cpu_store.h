@@ -18,15 +18,18 @@
 #include "src/cluster/machine.h"
 #include "src/common/status.h"
 #include "src/storage/checkpoint.h"
+#include "src/storage/checkpoint_store.h"
 
 namespace gemini {
 
 class Counter;
 class MetricsRegistry;
 
-class CpuCheckpointStore {
+class CpuCheckpointStore : public CheckpointStore {
  public:
   explicit CpuCheckpointStore(Machine& machine) : machine_(&machine) {}
+
+  std::string_view tier_name() const override { return "cpu_memory"; }
 
   // Optional observability sink ("cpu_store.*" counters); survives
   // ResetForMachine (the registry outlives machine incarnations). Counter
@@ -64,13 +67,13 @@ class CpuCheckpointStore {
   // treated as absent (and counted under "cpu_store.crc_failures"). Every
   // recovery read goes through this so a torn or bit-flipped replica can
   // never be restored silently.
-  std::optional<Checkpoint> LatestVerified(int owner_rank) const;
+  std::optional<Checkpoint> LatestVerified(int owner_rank) const override;
   // Iteration of the latest completed checkpoint, or -1.
-  int64_t LatestIteration(int owner_rank) const;
+  int64_t LatestIteration(int owner_rank) const override;
 
   // Fault injection: flips one payload bit of the owner's completed replica
   // (the checkpoint bit-rot the CRC reads exist to catch).
-  Status CorruptLatest(int owner_rank, size_t bit_index);
+  Status CorruptLatest(int owner_rank, size_t bit_index) override;
 
   Bytes reserved_bytes() const { return reserved_; }
 

@@ -116,17 +116,6 @@ TimeNs PersistentStore::Save(Checkpoint checkpoint, int expected_world_size, Don
       });
 }
 
-TimeNs PersistentStore::RetryBackoff(int attempt) const {
-  if (attempt <= 0) {
-    return 0;
-  }
-  TimeNs backoff = config_.retrieval_backoff_base;
-  for (int i = 1; i < attempt && backoff < config_.retrieval_backoff_cap; ++i) {
-    backoff *= 2;
-  }
-  return std::min(backoff, config_.retrieval_backoff_cap);
-}
-
 TimeNs PersistentStore::Retrieve(int owner_rank, int64_t iteration,
                                  std::function<void(StatusOr<Checkpoint>)> done) {
   if (retrievals_counter_ != nullptr) {
@@ -156,7 +145,8 @@ TimeNs PersistentStore::TryRetrieve(int owner_rank, int64_t iteration, int attem
         // cap; only then does the error surface to the caller.
         auto retry = [this, owner_rank, iteration, attempt,
                       &done](const Status& why) mutable {
-          if (attempt + 1 >= config_.retrieval_max_attempts) {
+          const RetryPolicy schedule = config_.retry_policy();
+          if (schedule.Exhausted(attempt + 1)) {
             done(why);
             return;
           }
@@ -166,7 +156,7 @@ TimeNs PersistentStore::TryRetrieve(int owner_rank, int64_t iteration, int attem
           GEMINI_LOG(kWarning) << "persistent retrieval attempt " << attempt + 1 << " for rank "
                                << owner_rank << " at iteration " << iteration << " failed ("
                                << why << "); retrying";
-          sim_.ScheduleAfter(RetryBackoff(attempt + 1),
+          sim_.ScheduleAfter(schedule.BackoffBefore(attempt + 1),
                              [this, owner_rank, iteration, attempt, done = std::move(done)] {
                                TryRetrieve(owner_rank, iteration, attempt + 1, std::move(done));
                              });
@@ -264,6 +254,41 @@ int64_t PersistentStore::LatestCompleteIteration() const {
     }
   }
   return -1;
+}
+
+std::optional<Checkpoint> PersistentStore::LatestVerified(int owner_rank) const {
+  const int64_t iteration = LatestIteration(owner_rank);
+  if (iteration < 0) {
+    return std::nullopt;
+  }
+  std::optional<Checkpoint> shard = Peek(owner_rank, iteration);
+  if (!shard.has_value()) {
+    return std::nullopt;
+  }
+  if (!shard->IntegrityOk()) {
+    if (crc_failures_counter_ != nullptr) {
+      crc_failures_counter_->Increment();
+    }
+    return std::nullopt;
+  }
+  return shard;
+}
+
+int64_t PersistentStore::LatestIteration(int owner_rank) const {
+  const int64_t iteration = LatestCompleteIteration();
+  if (iteration < 0 || !Peek(owner_rank, iteration).has_value()) {
+    return -1;
+  }
+  return iteration;
+}
+
+Status PersistentStore::CorruptLatest(int owner_rank, size_t bit_index) {
+  const int64_t iteration = LatestIteration(owner_rank);
+  if (iteration < 0) {
+    return NotFoundError("no durable shard for rank " + std::to_string(owner_rank) +
+                         " in any complete checkpoint");
+  }
+  return CorruptShard(owner_rank, iteration, bit_index);
 }
 
 void PersistentStore::SeedImmediate(Checkpoint checkpoint, int expected_world_size) {

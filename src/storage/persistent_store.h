@@ -23,6 +23,7 @@
 #include "src/common/units.h"
 #include "src/sim/simulator.h"
 #include "src/storage/checkpoint.h"
+#include "src/storage/checkpoint_store.h"
 #include "src/storage/serializer.h"
 
 namespace gemini {
@@ -46,17 +47,24 @@ struct PersistentStoreConfig {
   int retrieval_max_attempts = 4;
   TimeNs retrieval_backoff_base = Millis(100);
   TimeNs retrieval_backoff_cap = Seconds(2);
+
+  // The shared schedule the cascade follows (src/storage/checkpoint_store.h).
+  RetryPolicy retry_policy() const {
+    return RetryPolicy{retrieval_max_attempts, retrieval_backoff_base, retrieval_backoff_cap};
+  }
 };
 
 class Counter;
 class MetricsRegistry;
 
-class PersistentStore {
+class PersistentStore : public CheckpointStore {
  public:
   PersistentStore(Simulator& sim, PersistentStoreConfig config)
       : sim_(sim), config_(config) {}
 
   const PersistentStoreConfig& config() const { return config_; }
+
+  std::string_view tier_name() const override { return "persistent"; }
 
   // Optional observability sink ("persistent.*" counters). Counter handles
   // are resolved here, once, per the hot-path metric convention
@@ -96,6 +104,17 @@ class PersistentStore {
   // none.
   int64_t LatestCompleteIteration() const;
 
+  // CheckpointStore read-for-recovery surface. `LatestVerified` serves the
+  // rank's shard of the latest *complete* global checkpoint — but only if its
+  // payload still matches the capture-time CRC (a rejected shard counts under
+  // "persistent_store.crc_failures", like the retrieval cascade). These are
+  // immediate (zero-time) reads; timed recovery fetches still go through
+  // Retrieve() and the shared-bandwidth FIFO.
+  std::optional<Checkpoint> LatestVerified(int owner_rank) const override;
+  int64_t LatestIteration(int owner_rank) const override;
+  // Flips a bit in the rank's shard of the latest complete checkpoint.
+  Status CorruptLatest(int owner_rank, size_t bit_index) override;
+
   // Immediate (zero-time) lookup used by analysis code and tests.
   std::optional<Checkpoint> Peek(int owner_rank, int64_t iteration) const;
 
@@ -117,11 +136,10 @@ class PersistentStore {
  private:
   // Shared-bandwidth FIFO: a transfer starts when the previous one finishes.
   TimeNs ScheduleTransfer(Bytes bytes, std::function<void()> at_completion);
-  // One attempt of the retrieval cascade.
+  // One attempt of the retrieval cascade (backoff comes from the shared
+  // RetryPolicy built off the config knobs).
   TimeNs TryRetrieve(int owner_rank, int64_t iteration, int attempt,
                      std::function<void(StatusOr<Checkpoint>)> done);
-  // Exponential backoff before attempt `attempt` (1-based), capped.
-  TimeNs RetryBackoff(int attempt) const;
 
   Simulator& sim_;
   PersistentStoreConfig config_;

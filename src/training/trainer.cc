@@ -129,4 +129,31 @@ Status ShardedTrainer::RestoreAll(const std::vector<Checkpoint>& checkpoints) {
   return Status::Ok();
 }
 
+Status ShardedTrainer::ReplayTo(int64_t target_iteration) {
+  if (target_iteration < iteration_) {
+    return InvalidArgumentError("replay target is behind the current iteration");
+  }
+  const int64_t replayed = target_iteration - iteration_;
+  while (iteration_ < target_iteration) {
+    for (int rank = 0; rank < num_machines_; ++rank) {
+      auto& shard = shards_[static_cast<size_t>(rank)];
+      for (size_t i = 0; i < shard.size(); ++i) {
+        shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
+      }
+    }
+    ++iteration_;
+  }
+  if (replayed > 0) {
+    if (metrics_ != nullptr) {
+      metrics_->counter("trainer.replayed_iterations").Increment(replayed);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Event("trainer_replay", "training",
+                     {TraceAttr::Int("to_iteration", iteration_),
+                      TraceAttr::Int("replayed", replayed)});
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace gemini

@@ -61,6 +61,13 @@ class ShardedTrainer {
   // the same iteration) and rolls the iteration counter back.
   Status RestoreAll(const std::vector<Checkpoint>& checkpoints);
 
+  // Replays the deterministic update forward to `target_iteration` (the
+  // gradient-log replay of Checkmate-style recovery: the same (iteration,
+  // rank, element) deltas produce bit-exactly the pre-failure states). No-op
+  // when already at or past the target. Replayed steps count under
+  // "trainer.replayed_iterations", not "trainer.steps".
+  Status ReplayTo(int64_t target_iteration);
+
  private:
   ModelConfig model_;
   int num_machines_;

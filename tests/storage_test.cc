@@ -600,6 +600,62 @@ TEST_F(DiskBackedPersistentStoreTest, CorruptShardRewritesDiskAndRetriesExhaust)
   EXPECT_EQ(metrics.counter_value("persistent_store.retries"), 3);
 }
 
+// ---------------------------------------------------------------------------
+// Shared checkpoint-tier surface (CheckpointStore + RetryPolicy)
+// ---------------------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffDoublesUpToCap) {
+  const RetryPolicy policy{/*max_attempts=*/5, /*backoff_base=*/Millis(100),
+                           /*backoff_cap=*/Millis(400)};
+  EXPECT_EQ(policy.BackoffBefore(0), 0);  // First attempt is immediate.
+  EXPECT_EQ(policy.BackoffBefore(1), Millis(100));
+  EXPECT_EQ(policy.BackoffBefore(2), Millis(200));
+  EXPECT_EQ(policy.BackoffBefore(3), Millis(400));
+  EXPECT_EQ(policy.BackoffBefore(4), Millis(400));  // Capped thereafter.
+}
+
+TEST(RetryPolicyTest, ExhaustionCountsAttemptsMade) {
+  const RetryPolicy policy{/*max_attempts=*/3, Millis(1), Millis(8)};
+  EXPECT_FALSE(policy.Exhausted(0));
+  EXPECT_FALSE(policy.Exhausted(2));
+  EXPECT_TRUE(policy.Exhausted(3));
+  EXPECT_TRUE(policy.Exhausted(4));
+}
+
+TEST(CheckpointStoreInterfaceTest, BothTiersServeTheSharedReadSurface) {
+  // A recovery path holding only CheckpointStore* must get identical
+  // verified-read and corruption-detection semantics from either tier.
+  Simulator sim;
+  Machine machine(0, 0, P4d24xlarge());
+  CpuCheckpointStore cpu(machine);
+  ASSERT_TRUE(cpu.HostOwner(1, 1000).ok());
+  PersistentStoreConfig config;
+  config.aggregate_bandwidth = 1e9;
+  PersistentStore persistent(sim, config);
+
+  Checkpoint snapshot = MakeCheckpoint(1, 9, 1000);
+  snapshot.StampPayloadCrc();
+  ASSERT_TRUE(cpu.WriteComplete(snapshot).ok());
+  persistent.SeedImmediate(snapshot, 1);
+
+  CheckpointStore* const tiers[] = {&cpu, &persistent};
+  EXPECT_EQ(tiers[0]->tier_name(), "cpu_memory");
+  EXPECT_EQ(tiers[1]->tier_name(), "persistent");
+  for (CheckpointStore* tier : tiers) {
+    EXPECT_EQ(tier->LatestIteration(1), 9) << tier->tier_name();
+    EXPECT_EQ(tier->LatestIteration(5), -1) << tier->tier_name();
+    const std::optional<Checkpoint> verified = tier->LatestVerified(1);
+    ASSERT_TRUE(verified.has_value()) << tier->tier_name();
+    EXPECT_EQ(verified->payload, snapshot.payload) << tier->tier_name();
+    // Bit-rot through the shared corruption door must make the tier refuse
+    // to serve the replica.
+    ASSERT_TRUE(tier->CorruptLatest(1, /*bit_index=*/21).ok()) << tier->tier_name();
+    EXPECT_EQ(tier->LatestVerified(1), std::nullopt) << tier->tier_name();
+    EXPECT_EQ(tier->CorruptLatest(5, 0).code(), StatusCode::kNotFound)
+        << tier->tier_name();
+  }
+}
+
 TEST_F(PersistentStoreTest, TransferCostMatchesMtNlgSanityCheck) {
   // Paper Section 2.2: MT-NLG's 530B-parameter model states over a 20 Gb/s
   // store take ~42 minutes.
