@@ -1,0 +1,170 @@
+// Extension: incremental delta checkpoints vs the dirty fraction.
+//
+// Runs the same sparse-update (MoE-style) training workload with incremental
+// delta checkpoints off and on across a sweep of dirty fractions (the share
+// of each shard's chunks an iteration touches), reporting the checkpoint
+// bytes committed into the CPU tier and written to the persistent tier, the
+// observed delta fraction (committed / full-equivalent bytes), chain
+// compaction activity, and the effective checkpoint frequency the idle spans
+// sustain. Both runs of each pair share the training trajectory bit-exactly
+// — only the checkpoint encoding differs — so the byte ratios are
+// apples-to-apples and the final model states must match exactly.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/gemini/gemini_system.h"
+
+using namespace gemini;
+
+namespace {
+
+GeminiConfig BaseConfig(double dirty_fraction, bool incremental) {
+  GeminiConfig config;
+  config.model = Gpt2_100B();
+  config.instance = P4d24xlarge();
+  config.num_machines = 8;
+  config.num_replicas = 2;
+  config.payload_elements = 64;
+  config.seed = 2024;
+  config.cloud.num_standby = 4;
+  // Several persistent interval saves inside the bench window, so the
+  // redo-log path through the durable tier is exercised too.
+  config.persistent_checkpoint_interval = Minutes(10);
+  config.incremental.sparse_update_fraction = dirty_fraction;
+  config.incremental.chunk_elements = 4;
+  config.incremental.enabled = incremental;
+  return config;
+}
+
+struct RunResult {
+  bool ok = false;
+  int64_t iterations = 0;
+  double sim_hours = 0.0;
+  // Bytes committed across all CPU-tier holders (full or delta).
+  double cpu_bytes = 0.0;
+  // Bytes the persistent tier actually moved.
+  double persistent_bytes = 0.0;
+  double delta_fraction = 1.0;
+  int64_t delta_commits = 0;
+  int64_t compaction_folds = 0;
+  int64_t ckpt_blocks = 0;
+  int interval_iterations = 1;
+  std::vector<std::vector<float>> shards;
+};
+
+RunResult Run(double dirty_fraction, bool incremental) {
+  const GeminiConfig config = BaseConfig(dirty_fraction, incremental);
+  RunResult result;
+  auto system = GeminiSystem::Create(config);
+  if (!system.ok()) {
+    std::cerr << "system build failed: " << system.status() << "\n";
+    return result;
+  }
+  const StatusOr<TrainingReport> report = (*system)->TrainUntil(60, Hours(12));
+  if (!report.ok()) {
+    std::cerr << "run failed: " << report.status() << "\n";
+    return result;
+  }
+  const SystemSnapshot snapshot = (*system)->Snapshot();
+  result.ok = report->iterations_completed == 60;
+  result.iterations = report->iterations_completed;
+  result.sim_hours = ToSeconds(report->wall_time) / 3600.0;
+  result.cpu_bytes =
+      static_cast<double>((*system)->metrics().counter_value("cpu_store.bytes_committed"));
+  result.persistent_bytes = static_cast<double>((*system)->persistent_store().bytes_written());
+  result.delta_fraction = (*system)->incremental_delta_fraction();
+  result.delta_commits = snapshot.delta_commits;
+  result.compaction_folds = snapshot.compaction_folds;
+  result.ckpt_blocks = snapshot.cpu_checkpoints_committed;
+  result.interval_iterations = snapshot.checkpoint_interval_iterations;
+  for (int rank = 0; rank < config.num_machines; ++rank) {
+    result.shards.push_back((*system)->trainer().shard(rank));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchReporter reporter(
+      "ext_deltas", "Extension: incremental delta checkpoints vs dirty fraction",
+      "delta data-path extension (paper Sections 5.4, 7.1; GEMINI checkpoint traffic)");
+
+  std::cout << "GPT-2 100B on 8x p4d, m=2, 60 iterations per run. Each row runs the\n"
+               "identical sparse-update trajectory twice — full snapshots vs delta\n"
+               "chains — and compares the checkpoint bytes each tier moved.\n\n";
+
+  TablePrinter table({"Dirty frac", "CPU bytes (full)", "CPU bytes (delta)", "Reduction",
+                      "Delta frac", "Deltas", "Folds", "Persist (x)", "Ckpts/hour"});
+  bool all_ok = true;
+  bool states_match = true;
+  bool reduction_at_quarter_ok = false;
+  double previous_reduction = 0.0;
+  bool reduction_monotone = true;
+  for (const double dirty : {1.0, 0.5, 0.25, 0.1}) {
+    const RunResult full = Run(dirty, /*incremental=*/false);
+    const RunResult inc = Run(dirty, /*incremental=*/true);
+    all_ok &= full.ok && inc.ok;
+    if (!full.ok || !inc.ok) {
+      continue;
+    }
+    // Same trajectory, different encodings: the end states must be
+    // bit-exactly equal (the acceptance equivalence for the delta path).
+    states_match &= full.shards == inc.shards;
+    const double reduction = inc.cpu_bytes > 0.0 ? full.cpu_bytes / inc.cpu_bytes : 0.0;
+    const double persist_ratio =
+        inc.persistent_bytes > 0.0 ? full.persistent_bytes / inc.persistent_bytes : 0.0;
+    const double blocks_per_hour =
+        inc.sim_hours > 0.0 ? static_cast<double>(inc.ckpt_blocks) / inc.sim_hours : 0.0;
+    table.AddRow({TablePrinter::Fmt(dirty, 2), TablePrinter::Fmt(full.cpu_bytes / GiB(1), 1),
+                  TablePrinter::Fmt(inc.cpu_bytes / GiB(1), 1),
+                  TablePrinter::Fmt(reduction, 2) + " x",
+                  TablePrinter::Fmt(inc.delta_fraction, 4),
+                  TablePrinter::Fmt(inc.delta_commits), TablePrinter::Fmt(inc.compaction_folds),
+                  TablePrinter::Fmt(persist_ratio, 2) + " x",
+                  TablePrinter::Fmt(blocks_per_hour, 1)});
+    const std::string key = "dirty_" + bench::BenchReporter::MetricKey(TablePrinter::Fmt(dirty, 2));
+    reporter.Metric(key + ".cpu_bytes_full", full.cpu_bytes);
+    reporter.Metric(key + ".cpu_bytes_delta", inc.cpu_bytes);
+    reporter.Metric(key + ".reduction", reduction);
+    reporter.Metric(key + ".delta_fraction", inc.delta_fraction);
+    reporter.Metric(key + ".delta_commits", inc.delta_commits);
+    reporter.Metric(key + ".compaction_folds", inc.compaction_folds);
+    reporter.Metric(key + ".persistent_reduction", persist_ratio);
+    reporter.Metric(key + ".ckpt_blocks_per_hour", blocks_per_hour);
+    reporter.Metric(key + ".interval_iterations",
+                    static_cast<int64_t>(inc.interval_iterations));
+    if (dirty <= 0.25) {
+      // Acceptance gate: >= 2x fewer replicated checkpoint bytes at a
+      // quarter-dirty (or sparser) workload.
+      reduction_at_quarter_ok |= reduction >= 2.0;
+      if (reduction < 2.0) {
+        reduction_at_quarter_ok = false;
+      }
+    }
+    // Sparser updates must never save less than denser ones.
+    reduction_monotone &= reduction >= previous_reduction - 0.01;
+    previous_reduction = reduction;
+    // Dense updates ship (almost) everything: the delta path must not cost
+    // more bytes than full snapshots did.
+    if (dirty >= 1.0) {
+      all_ok &= reduction >= 0.99;
+    }
+  }
+  reporter.Table(table);
+  std::cout << "\nThe delta path prorates every committed and persisted byte by the\n"
+               "content that actually changed; chains fold back into full bases at the\n"
+               "configured caps, bounding recovery replay. The checkpoint cadence is\n"
+               "unchanged — the same idle spans now protect the job with a fraction of\n"
+               "the traffic.\n";
+
+  const bool pass = all_ok && states_match && reduction_at_quarter_ok && reduction_monotone;
+  reporter.ShapeCheck(
+      pass,
+      "full-vs-delta runs end bit-identical at every dirty fraction, replicated\n"
+      "checkpoint bytes drop >= 2x at <= 25% dirty, and the savings grow\n"
+      "monotonically as updates get sparser");
+  return reporter.Finish();
+}

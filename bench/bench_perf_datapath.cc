@@ -217,12 +217,18 @@ int main() {
   reporter.Metric("crc.speedup_vs_bytewise", crc_speedup);
   reporter.Metric("crc.hw_speedup_vs_slicing8", hw_speedup);
 
-  // Serialize+CRC end-to-end: inline versus fanned out across a small pool.
+  // Serialize+CRC end-to-end: inline versus handed a small pool. The 16 MiB
+  // blob sits below the serializer's bytes-per-worker floor, so the pooled
+  // call must take the inline path — the earlier fan-out-always version
+  // measured the parallel leg *slower* than serial at this size.
   const double serialize_mb_s = gemini::SerializeThroughputMbPerSec(nullptr);
   gemini::ThreadPool workers(4);
   const double serialize_parallel_mb_s = gemini::SerializeThroughputMbPerSec(&workers);
   reporter.Metric("serialize.throughput_mb_s", serialize_mb_s);
   reporter.Metric("serialize.parallel4_throughput_mb_s", serialize_parallel_mb_s);
+  const double serialize_parallel_ratio =
+      serialize_mb_s > 0.0 ? serialize_parallel_mb_s / serialize_mb_s : 0.0;
+  reporter.Metric("serialize.parallel4_vs_serial_ratio", serialize_parallel_ratio);
 
   struct SizePoint {
     int elements;
@@ -246,13 +252,17 @@ int main() {
 #if defined(GEMINI_BENCH_INSTRUMENTED)
   const bool ratio_gates = true;  // Skipped: wall-clock ratios are meaningless here.
 #else
-  const bool ratio_gates = crc_speedup >= 3.0 && (!hw_active || hw_speedup >= 2.0);
+  // 0.9 leaves room for run-to-run noise; the pre-threshold regression sat
+  // near 0.92 consistently, and with the inline path taken both legs now run
+  // the same code.
+  const bool ratio_gates = crc_speedup >= 3.0 && (!hw_active || hw_speedup >= 2.0) &&
+                           serialize_parallel_ratio >= 0.9;
 #endif
   reporter.ShapeCheck(
       ratio_gates && worst_us > 0.0 && serialize_mb_s > 0.0,
       "slice-by-8 CRC is >= 3x the byte-at-a-time reference, hardware CRC (when dispatched) "
-      "is >= 2x slicing-by-8 (ratio gates waived in sanitizer builds), serialize+CRC moves "
-      "measurable MB/s, and the capture->commit->verify data path completes at all payload "
-      "sizes");
+      "is >= 2x slicing-by-8 (ratio gates waived in sanitizer builds), a pooled serialize of "
+      "a small blob is no slower than inline (bytes-per-worker floor), and the "
+      "capture->commit->verify data path completes at all payload sizes");
   return reporter.Finish();
 }

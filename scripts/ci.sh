@@ -54,8 +54,11 @@ echo "==> sanitizer pass: ctest -L obs (auditor, flight recorder, tracer determi
 echo "==> sanitizer pass: ctest -L policy (policy engine under ASan+UBSan)"
 (cd build-asan && ctest --output-on-failure -L policy)
 
+echo "==> sanitizer pass: ctest -L delta (incremental checkpoints under ASan+UBSan)"
+(cd build-asan && ctest --output-on-failure -L delta)
+
 echo "==> sanitizer pass: ctest (remaining suites)"
-(cd build-asan && ctest --output-on-failure -LE 'obs|policy' -j"$(nproc)")
+(cd build-asan && ctest --output-on-failure -LE 'obs|policy|delta' -j"$(nproc)")
 
 # Smoke-run the auditor bench: its shape check gates the zero-overhead and
 # determinism claims, and an uncapped tracer dropping records is a regression
@@ -81,6 +84,13 @@ if [[ -z "$switches" || "$switches" -lt 1 ]]; then
   echo "FAIL: Chameleon selector never switched during the policy smoke run" >&2
   exit 1
 fi
+
+# Smoke-run the delta bench: its shape check gates the incremental data
+# path's headline claims — full-vs-delta runs end bit-identical, replicated
+# checkpoint bytes drop >= 2x at <= 25% dirty fraction, and dense updates
+# cost nothing extra.
+echo "==> bench smoke: bench_ext_deltas"
+./build/bench/bench_ext_deltas
 
 # Smoke-run the data-path bench from the Release tree: its shape check gates
 # the slice-by-8 CRC speedup (>= 3x over the byte-wise reference), the

@@ -79,6 +79,26 @@ void FailureInjector::ArmCorruptionOnTrigger(std::string trigger, int holder_ran
   armed_[std::move(trigger)].push_back(std::move(armed));
 }
 
+void FailureInjector::InjectDeltaCorruptionAt(TimeNs when, int holder_rank, int owner_rank,
+                                              size_t chain_index, size_t bit_index) {
+  sim_.ScheduleAt(when, [this, holder_rank, owner_rank, chain_index, bit_index] {
+    ApplyDeltaCorruption(holder_rank, owner_rank, chain_index, bit_index);
+  });
+}
+
+void FailureInjector::ArmDeltaCorruptionOnTrigger(std::string trigger, int holder_rank,
+                                                  int owner_rank, size_t chain_index,
+                                                  size_t bit_index, TimeNs delay) {
+  ArmedEvent armed;
+  armed.delta_corruption = true;
+  armed.holder_rank = holder_rank;
+  armed.owner_rank = owner_rank;
+  armed.chain_index = chain_index;
+  armed.bit_index = bit_index;
+  armed.delay = delay;
+  armed_[std::move(trigger)].push_back(std::move(armed));
+}
+
 void FailureInjector::Fire(std::string_view trigger) {
   auto it = armed_.find(std::string(trigger));
   if (it == armed_.end() || it->second.empty()) {
@@ -90,6 +110,16 @@ void FailureInjector::Fire(std::string_view trigger) {
     trigger_fires_counter_->Increment();
   }
   for (ArmedEvent& armed : events) {
+    if (armed.delta_corruption) {
+      const int holder = armed.holder_rank;
+      const int owner = armed.owner_rank;
+      const size_t chain = armed.chain_index;
+      const size_t bit = armed.bit_index;
+      sim_.ScheduleAfter(armed.delay, [this, holder, owner, chain, bit] {
+        ApplyDeltaCorruption(holder, owner, chain, bit);
+      });
+      continue;
+    }
     if (armed.corruption) {
       const int holder = armed.holder_rank;
       const int owner = armed.owner_rank;
@@ -121,6 +151,27 @@ void FailureInjector::ApplyCorruption(int holder_rank, int owner_rank, size_t bi
   }
   GEMINI_LOG(kInfo) << "failure injector: flipped bit " << bit_index << " of owner "
                     << owner_rank << "'s replica on rank " << holder_rank << " at "
+                    << FormatDuration(sim_.now());
+  if (corruptions_counter_ != nullptr) {
+    corruptions_counter_->Increment();
+  }
+}
+
+void FailureInjector::ApplyDeltaCorruption(int holder_rank, int owner_rank, size_t chain_index,
+                                           size_t bit_index) {
+  if (!delta_corruption_hook_) {
+    GEMINI_LOG(kWarning) << "failure injector: delta corruption requested but no hook installed";
+    return;
+  }
+  const Status status = delta_corruption_hook_(holder_rank, owner_rank, chain_index, bit_index);
+  if (!status.ok()) {
+    GEMINI_LOG(kWarning) << "failure injector: delta corruption of owner " << owner_rank
+                         << "'s chain link " << chain_index << " on rank " << holder_rank
+                         << " failed: " << status;
+    return;
+  }
+  GEMINI_LOG(kInfo) << "failure injector: flipped bit " << bit_index << " of owner " << owner_rank
+                    << "'s chain link " << chain_index << " on rank " << holder_rank << " at "
                     << FormatDuration(sim_.now());
   if (corruptions_counter_ != nullptr) {
     corruptions_counter_->Increment();

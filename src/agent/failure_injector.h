@@ -83,6 +83,14 @@ class FailureInjector {
   void ArmCorruptionOnTrigger(std::string trigger, int holder_rank, int owner_rank,
                               size_t bit_index, TimeNs delay = 0);
 
+  // Same, but flips a bit inside link `chain_index` of the holder's redo-log
+  // delta chain for `owner_rank` (incremental checkpoint mode; needs the
+  // delta corruption hook installed).
+  void InjectDeltaCorruptionAt(TimeNs when, int holder_rank, int owner_rank,
+                               size_t chain_index, size_t bit_index);
+  void ArmDeltaCorruptionOnTrigger(std::string trigger, int holder_rank, int owner_rank,
+                                   size_t chain_index, size_t bit_index, TimeNs delay = 0);
+
   // Crossed trigger points call this (GeminiSystem does); all events armed on
   // `trigger` are released.
   void Fire(std::string_view trigger);
@@ -91,6 +99,10 @@ class FailureInjector {
   // store. Kept as a hook so the injector does not depend on storage.
   void set_corruption_hook(std::function<Status(int holder, int owner, size_t bit)> hook) {
     corruption_hook_ = std::move(hook);
+  }
+  void set_delta_corruption_hook(
+      std::function<Status(int holder, int owner, size_t chain_index, size_t bit)> hook) {
+    delta_corruption_hook_ = std::move(hook);
   }
 
   // Starts Poisson failure arrival: `rate_per_machine_day` failures per
@@ -118,13 +130,19 @@ class FailureInjector {
     TimeNs delay = 0;
     // Corruption events target one (holder, owner) replica instead.
     bool corruption = false;
+    // Delta-chain corruption targets link `chain_index` of the holder's redo
+    // log for the owner.
+    bool delta_corruption = false;
     int holder_rank = -1;
     int owner_rank = -1;
+    size_t chain_index = 0;
     size_t bit_index = 0;
   };
 
   void Apply(const FailureEvent& event);
   void ApplyCorruption(int holder_rank, int owner_rank, size_t bit_index);
+  void ApplyDeltaCorruption(int holder_rank, int owner_rank, size_t chain_index,
+                            size_t bit_index);
   void ScheduleNextRandom(double rate_per_machine_day, double software_fraction, TimeNs until);
 
   Simulator& sim_;
@@ -132,6 +150,8 @@ class FailureInjector {
   Rng rng_;
   std::function<void(const FailureEvent&)> observer_;
   std::function<Status(int holder, int owner, size_t bit)> corruption_hook_;
+  std::function<Status(int holder, int owner, size_t chain_index, size_t bit)>
+      delta_corruption_hook_;
   std::map<std::string, std::vector<ArmedEvent>> armed_;
   int64_t injected_ = 0;
   MetricsRegistry* metrics_ = nullptr;

@@ -59,6 +59,22 @@ Status GeminiConfig::Validate() const {
   if (pipeline_threads < 1) {
     return InvalidArgumentError("pipeline_threads must be positive");
   }
+  if (incremental.sparse_update_fraction <= 0.0 || incremental.sparse_update_fraction > 1.0) {
+    return InvalidArgumentError("incremental.sparse_update_fraction must be in (0, 1]");
+  }
+  if (incremental.enabled) {
+    if (incremental.chunk_elements < 1) {
+      return InvalidArgumentError("incremental.chunk_elements must be positive");
+    }
+    if (incremental.max_chain_length < 1) {
+      return InvalidArgumentError(
+          "incremental.max_chain_length must be >= 1: a compaction cap of 0 would let delta "
+          "chains grow without bound and recovery replay them forever");
+    }
+    if (incremental.max_chain_bytes < 0) {
+      return InvalidArgumentError("incremental.max_chain_bytes must be non-negative");
+    }
+  }
   return policy.Validate();
 }
 
@@ -98,10 +114,16 @@ Status GeminiSystem::Initialize() {
   GEMINI_ASSIGN_OR_RETURN(placement_,
                           BuildMixedPlacement(config_.num_machines, config_.num_replicas));
   const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
+  RedoLogConfig redo_config;
+  redo_config.max_chain_length = config_.incremental.max_chain_length;
+  redo_config.max_chain_bytes = config_.incremental.max_chain_bytes;
   cpu_stores_.clear();
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     cpu_stores_.push_back(std::make_unique<CpuCheckpointStore>(cluster_->machine(rank)));
     cpu_stores_.back()->set_metrics(&metrics_);
+    if (config_.incremental.enabled) {
+      cpu_stores_.back()->ConfigureRedoLog(redo_config);
+    }
   }
   for (int owner = 0; owner < config_.num_machines; ++owner) {
     for (const int holder : placement_.replica_sets[static_cast<size_t>(owner)]) {
@@ -115,14 +137,34 @@ Status GeminiSystem::Initialize() {
                                               config_.payload_elements, config_.seed);
   trainer_->set_metrics(&metrics_);
   trainer_->set_tracer(&tracer_);
+  if (config_.incremental.sparse_update_fraction < 1.0) {
+    trainer_->SetSparseUpdates(config_.incremental.sparse_update_fraction,
+                               static_cast<size_t>(config_.incremental.chunk_elements));
+  }
+  if (config_.incremental.enabled) {
+    trainer_->EnableDirtyTracking(static_cast<size_t>(config_.incremental.chunk_elements));
+  }
+  delta_bases_.assign(static_cast<size_t>(config_.num_machines), std::nullopt);
+  dirty_accum_.assign(static_cast<size_t>(config_.num_machines),
+                      std::vector<uint8_t>(trainer_->dirty_chunk_count(), 0));
+  persistent_bases_.assign(static_cast<size_t>(config_.num_machines), std::nullopt);
   if (config_.pipeline_threads > 1 && datapath_pool_ == nullptr) {
     datapath_pool_ = std::make_unique<ThreadPool>(config_.pipeline_threads);
   }
   persistent_ = std::make_unique<PersistentStore>(sim_, config_.persistent);
   persistent_->set_metrics(&metrics_);
   persistent_->set_workers(datapath_pool_.get());
+  if (config_.incremental.enabled) {
+    persistent_->ConfigureRedoLog(redo_config);
+  }
   for (int rank = 0; rank < config_.num_machines; ++rank) {
-    persistent_->SeedImmediate(trainer_->MakeCheckpoint(rank), config_.num_machines);
+    Checkpoint seeded = trainer_->MakeCheckpoint(rank);
+    if (config_.incremental.enabled) {
+      // The seed seals the persistent tier's first chain base; the first
+      // interval save can already ship a delta against iteration 0.
+      persistent_bases_[static_cast<size_t>(rank)] = seeded;
+    }
+    persistent_->SeedImmediate(std::move(seeded), config_.num_machines);
   }
 
   // ---- Distributed KV store on the first few machines.
@@ -180,6 +222,13 @@ Status GeminiSystem::Initialize() {
   injector_->set_corruption_hook([this](int holder_rank, int owner_rank, size_t bit_index) {
     return cpu_stores_[static_cast<size_t>(holder_rank)]->CorruptLatest(owner_rank, bit_index);
   });
+  // Incremental-mode chaos hook: bit-rot inside one link of a holder's delta
+  // chain, which the CRC-gated materialization must reject.
+  injector_->set_delta_corruption_hook(
+      [this](int holder_rank, int owner_rank, size_t chain_index, size_t bit_index) {
+        return cpu_stores_[static_cast<size_t>(holder_rank)]->CorruptChainDelta(
+            owner_rank, chain_index, bit_index);
+      });
 
   // ---- Profile the timeline and plan checkpoint traffic (Sections 5.3/5.4).
   TimelineParams timeline_params;
@@ -316,6 +365,12 @@ void GeminiSystem::StartNextIteration() {
     for (int owner = 0; owner < config_.num_machines; ++owner) {
       if (cluster_->machine(owner).alive()) {
         staged_snapshots_.push_back(trainer_->MakeCheckpoint(owner));
+        if (config_.incremental.enabled) {
+          // Fold the bits marked since the previous capture into the window
+          // accumulated since the owner's last sealed base (a discarded block
+          // just leaves the accumulator a conservative superset).
+          AccumulateDirtyBits(owner);
+        }
       }
     }
     staged_iteration_ = iteration;
@@ -416,19 +471,42 @@ void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
     return;
   }
   for (const Checkpoint& snapshot : staged_snapshots_) {
-    if (!cluster_->machine(snapshot.owner_rank).alive()) {
+    const int owner = snapshot.owner_rank;
+    if (!cluster_->machine(owner).alive()) {
       continue;
     }
-    for (const int holder :
-         placement_.replica_sets[static_cast<size_t>(snapshot.owner_rank)]) {
+    std::optional<DeltaCheckpoint> delta;
+    if (config_.incremental.enabled) {
+      delta = MaybeBuildCommitDelta(snapshot);
+    }
+    for (const int holder : placement_.replica_sets[static_cast<size_t>(owner)]) {
       if (!cluster_->machine(holder).alive()) {
         continue;
       }
-      const Status status = cpu_stores_[static_cast<size_t>(holder)]->WriteComplete(snapshot);
+      CpuCheckpointStore& store = *cpu_stores_[static_cast<size_t>(holder)];
+      if (delta.has_value() && store.ChainHeadIteration(owner) == delta->base_iteration) {
+        const Status status = store.WriteDelta(*delta);
+        if (status.ok()) {
+          continue;
+        }
+        // A holder whose chain fell out of sync (e.g. a fresh replacement)
+        // gets the full snapshot instead.
+        GEMINI_LOG(kWarning) << "delta commit failed on rank " << holder << " (" << status
+                             << "); falling back to a full write";
+      }
+      const Status status = store.WriteComplete(snapshot);
       if (!status.ok()) {
         GEMINI_LOG(kWarning) << "checkpoint commit failed on rank " << holder << ": " << status;
         return;
       }
+    }
+    if (config_.incremental.enabled) {
+      incremental_committed_bytes_ +=
+          delta.has_value() ? delta->delta_bytes : snapshot.logical_bytes;
+      incremental_full_equivalent_bytes_ += snapshot.logical_bytes;
+      delta_bases_[static_cast<size_t>(owner)] = snapshot;
+      auto& accum = dirty_accum_[static_cast<size_t>(owner)];
+      std::fill(accum.begin(), accum.end(), 0);
     }
   }
   ++report_.cpu_checkpoints_committed;
@@ -445,6 +523,13 @@ void GeminiSystem::OnCheckpointCommit(int64_t snapshot_iteration) {
     }
     watermarks.push_back(
         KvPutEntry{"ckpt/watermark/block", std::to_string(snapshot_iteration)});
+    if (config_.incremental.enabled) {
+      // Durable-epoch watermark: the newest iteration fully restorable from
+      // the persistent tier — the floor a delta-chain recovery can always
+      // fall back to. Rides the same single consensus round.
+      watermarks.push_back(KvPutEntry{"ckpt/watermark/durable_epoch",
+                                      std::to_string(persistent_->durable_epoch())});
+    }
     kvstore_->PutBatch(std::move(watermarks), kNoLease, [](Status status) {
       if (!status.ok()) {
         // Leaderless windows (mid-election) drop the watermark; the next
@@ -476,20 +561,111 @@ void GeminiSystem::MaybePersistentCheckpoint() {
   }
   last_persistent_checkpoint_at_ = sim_.now();
   // Serialization blocks training (torch.save); the upload itself is
-  // asynchronous through the store's shared bandwidth.
+  // asynchronous through the store's shared bandwidth. Ranks serialize
+  // concurrently, so the stall is the largest per-rank serialized size — the
+  // full replica, or just the delta bytes in incremental mode.
   const Bytes replica_bytes = config_.model.CheckpointBytesPerMachine(config_.num_machines);
-  const TimeNs serialize = TransferTime(replica_bytes, config_.serialization_bandwidth);
+  Bytes max_rank_bytes = 0;
   for (int rank = 0; rank < config_.num_machines; ++rank) {
     if (!cluster_->machine(rank).alive()) {
       continue;
     }
-    persistent_->Save(trainer_->MakeCheckpoint(rank), config_.num_machines, [](Status) {});
+    Checkpoint full = trainer_->MakeCheckpoint(rank);
+    std::optional<DeltaCheckpoint> delta;
+    if (config_.incremental.enabled) {
+      const std::optional<Checkpoint>& base = persistent_bases_[static_cast<size_t>(rank)];
+      // Deltas are built against the last *scheduled* state; the store's FIFO
+      // preserves arrival order, so each delta lands on the chain head it was
+      // sealed against.
+      if (base.has_value() && full.iteration > base->iteration &&
+          base->payload.size() == full.payload.size() &&
+          persistent_->DeltaBaseIteration(rank) >= 0) {
+        StatusOr<DeltaCheckpoint> built = BuildDeltaCheckpoint(
+            *base, full, static_cast<size_t>(config_.incremental.chunk_elements));
+        if (built.ok()) {
+          delta = std::move(built).value();
+        }
+      }
+    }
+    if (delta.has_value()) {
+      max_rank_bytes = std::max(max_rank_bytes, delta->delta_bytes);
+      persistent_->SaveDelta(std::move(*delta), config_.num_machines, [this, rank](Status status) {
+        if (!status.ok()) {
+          GEMINI_LOG(kWarning) << "persistent delta save for rank " << rank
+                               << " failed: " << status;
+          // Broken seal: force the next interval back to a full upload.
+          persistent_bases_[static_cast<size_t>(rank)] = std::nullopt;
+        }
+      });
+    } else {
+      max_rank_bytes = std::max(max_rank_bytes, replica_bytes);
+      persistent_->Save(full, config_.num_machines, [this, rank](Status status) {
+        if (!status.ok() && config_.incremental.enabled) {
+          persistent_bases_[static_cast<size_t>(rank)] = std::nullopt;
+        }
+      });
+    }
+    if (config_.incremental.enabled) {
+      persistent_bases_[static_cast<size_t>(rank)] = std::move(full);
+    }
   }
+  const TimeNs serialize = TransferTime(max_rank_bytes, config_.serialization_bandwidth);
   ++report_.persistent_checkpoints_committed;
   metrics_.counter("system.persistent_checkpoints").Increment();
   tracer_.Span("persistent_serialize", "checkpoint", sim_.now(), sim_.now() + serialize,
                {TraceAttr::Int("iteration", trainer_->iteration())});
   sim_.ScheduleAfter(serialize, [this] { StartNextIteration(); });
+}
+
+// ---------------------------------------------------------------------------
+// Incremental checkpoints
+// ---------------------------------------------------------------------------
+
+void GeminiSystem::AccumulateDirtyBits(int owner_rank) {
+  std::vector<uint8_t> taken = trainer_->TakeDirtyChunks(owner_rank);
+  auto& accum = dirty_accum_[static_cast<size_t>(owner_rank)];
+  if (accum.size() != taken.size()) {
+    accum.assign(taken.size(), 1);
+    return;
+  }
+  for (size_t i = 0; i < taken.size(); ++i) {
+    accum[i] = static_cast<uint8_t>(accum[i] | taken[i]);
+  }
+}
+
+std::optional<DeltaCheckpoint> GeminiSystem::MaybeBuildCommitDelta(const Checkpoint& snapshot) {
+  const int owner = snapshot.owner_rank;
+  const std::optional<Checkpoint>& base = delta_bases_[static_cast<size_t>(owner)];
+  if (!base.has_value() || snapshot.iteration <= base->iteration ||
+      base->payload.size() != snapshot.payload.size()) {
+    return std::nullopt;
+  }
+  const std::vector<uint8_t>& hint = dirty_accum_[static_cast<size_t>(owner)];
+  StatusOr<DeltaCheckpoint> delta = BuildDeltaCheckpoint(
+      *base, snapshot, static_cast<size_t>(config_.incremental.chunk_elements),
+      hint.empty() ? nullptr : &hint);
+  if (!delta.ok()) {
+    GEMINI_LOG(kWarning) << "delta build for owner " << owner << " failed (" << delta.status()
+                         << "); committing a full snapshot";
+    return std::nullopt;
+  }
+  return std::move(delta).value();
+}
+
+void GeminiSystem::ResetIncrementalBases() {
+  std::fill(delta_bases_.begin(), delta_bases_.end(), std::nullopt);
+  std::fill(persistent_bases_.begin(), persistent_bases_.end(), std::nullopt);
+  for (auto& accum : dirty_accum_) {
+    std::fill(accum.begin(), accum.end(), 1);
+  }
+}
+
+double GeminiSystem::incremental_delta_fraction() const {
+  if (!config_.incremental.enabled || incremental_full_equivalent_bytes_ <= 0) {
+    return 1.0;
+  }
+  return static_cast<double>(incremental_committed_bytes_) /
+         static_cast<double>(incremental_full_equivalent_bytes_);
 }
 
 // ---------------------------------------------------------------------------
@@ -1152,6 +1328,11 @@ void GeminiSystem::ResumeTraining(RecoveryRecord record) {
   }
   recovering_ = false;
   active_case_.reset();
+  if (config_.incremental.enabled) {
+    // Recovery rewired store contents (restores, refills, rollbacks); no
+    // sealed base can be trusted, so the next block writes full snapshots.
+    ResetIncrementalBases();
+  }
   if (root_agent_ != nullptr) {
     root_agent_->ClearHandled(case_ranks);
     root_agent_->SetPaused(false);
@@ -1295,6 +1476,9 @@ SystemSnapshot GeminiSystem::Snapshot() const {
   snapshot.reprofiles = auditor_.reprofiles();
   snapshot.flight_dumps = flight_recorder_.dump_count();
   snapshot.tracer_dropped_records = tracer_.dropped_records();
+  snapshot.delta_commits = metrics_.counter_value("cpu_store.delta_commits");
+  snapshot.delta_bytes_saved = metrics_.counter_value("delta.bytes_saved");
+  snapshot.compaction_folds = metrics_.counter_value("compaction.folds");
   return snapshot;
 }
 

@@ -102,6 +102,30 @@ struct GeminiConfig {
   // proposal — one consensus round per checkpoint block). Off by default so
   // default-config runs generate no extra KV traffic.
   bool publish_checkpoint_watermark = false;
+  // Incremental delta checkpoints (default off: every checkpoint is a full
+  // snapshot and the system's outputs are byte-identical to the pre-delta
+  // code). When enabled, CPU-tier commits and persistent saves ship only the
+  // chunks that changed since the owner's last sealed base — dirty bits from
+  // the trainer pruned further by chunk CRC + content compare — through
+  // per-holder epoch-sealed redo logs that compact back into full bases at
+  // the configured caps.
+  struct IncrementalCheckpointConfig {
+    bool enabled = false;
+    // Chunk granularity (payload elements) for dirty tracking and delta
+    // encoding.
+    int chunk_elements = 16;
+    // Compaction caps: fold the chain into a new base once it holds this
+    // many deltas (must be >= 1 — Validate rejects an unbounded chain) or,
+    // when > 0, this many accumulated delta bytes.
+    int max_chain_length = 8;
+    Bytes max_chain_bytes = 0;
+    // Sparse-update workload knob (MoE-style): fraction of chunks each
+    // (iteration, rank) touches per step; 1.0 is the dense path. Applied to
+    // the trainer whether or not `enabled` is set, so full-vs-incremental
+    // comparisons run the identical trajectory.
+    double sparse_update_fraction = 1.0;
+  };
+  IncrementalCheckpointConfig incremental;
   // Protection-policy engine: which strategy guards training (GEMINI
   // in-memory checkpoints by default) plus the per-policy knobs and the
   // online Chameleon selector's switch rules.
@@ -188,6 +212,11 @@ struct SystemSnapshot {
   int64_t reprofiles = 0;
   int64_t flight_dumps = 0;
   int64_t tracer_dropped_records = 0;
+
+  // Incremental checkpoint data path (zero when the mode is off).
+  int64_t delta_commits = 0;
+  int64_t delta_bytes_saved = 0;
+  int64_t compaction_folds = 0;
 };
 
 struct TrainingReport {
@@ -312,6 +341,10 @@ class GeminiSystem : public PolicyHost {
   double degraded_seconds() const override {
     return metrics_.gauge_value("system.redundancy.degraded_seconds");
   }
+  // Observed delta-to-full byte ratio of the CPU-tier commits (1.0 when the
+  // incremental mode is off or no delta has committed yet); policies fold it
+  // into their steady-state cost models.
+  double incremental_delta_fraction() const override;
   void DiscardStagedBlock() override;
 
  private:
@@ -321,6 +354,17 @@ class GeminiSystem : public PolicyHost {
   void OnIterationComplete();
   void MaybePersistentCheckpoint();
   void FinishRun();
+
+  // ---- Incremental checkpoints ----
+  // Folds the owner's freshly taken dirty bits into the accumulator covering
+  // the window since its last sealed base.
+  void AccumulateDirtyBits(int owner_rank);
+  // Builds the commit delta for `snapshot` against the owner's last sealed
+  // CPU-tier base; nullopt (-> full write) when no compatible base exists.
+  std::optional<DeltaCheckpoint> MaybeBuildCommitDelta(const Checkpoint& snapshot);
+  // Invalidates every delta base after recovery rewires store contents; the
+  // next block re-seals full bases everywhere.
+  void ResetIncrementalBases();
 
   // ---- Interference audit (tentpole) ----
   // The iteration's realized idle-span lengths: nominal spans scaled by the
@@ -448,6 +492,19 @@ class GeminiSystem : public PolicyHost {
   int64_t staged_iteration_ = -1;
   TimeNs staged_at_ = 0;
   TimeNs iteration_started_at_ = 0;
+
+  // ---- Incremental mode state (sized/used only when enabled) ----
+  // Per-owner diff base: the last full snapshot whose replication to the CPU
+  // tier committed, plus the dirty bits accumulated since it was captured.
+  std::vector<std::optional<Checkpoint>> delta_bases_;
+  std::vector<std::vector<uint8_t>> dirty_accum_;
+  // Last full state *scheduled* to the persistent tier per rank; the store's
+  // FIFO preserves arrival order, so schedule-order sealing is safe.
+  std::vector<std::optional<Checkpoint>> persistent_bases_;
+  // Commit-byte tallies behind incremental_delta_fraction() (per staged
+  // snapshot, not per holder).
+  Bytes incremental_committed_bytes_ = 0;
+  Bytes incremental_full_equivalent_bytes_ = 0;
 
   bool initialized_ = false;
   bool running_ = false;

@@ -49,7 +49,10 @@ RecoveryPlan GeminiPolicy::BuildRecoveryPlan(const PolicyHost& host,
 
 PolicyCostReport GeminiPolicy::CostReport(const PolicyHost& host) const {
   PolicyCostReport report;
-  report.steady_state_overhead_fraction = host.execution().overhead_fraction;
+  // Incremental delta checkpoints shrink the steady-state traffic to the
+  // observed delta-to-full byte ratio (1.0 when the mode is off).
+  report.steady_state_overhead_fraction =
+      host.execution().overhead_fraction * host.incremental_delta_fraction();
   // Typical path: hardware case 1, one replica crossing the network at line
   // rate (software recovery moves no bytes at all).
   report.expected_recovery_fetch_time =

@@ -143,6 +143,11 @@ class PolicyHost {
   virtual TimeNs interference_inflation() const = 0;
   virtual double degraded_seconds() const = 0;
 
+  // Observed delta-to-full byte ratio of CPU-tier commits when the host runs
+  // incremental delta checkpoints; 1.0 otherwise. Policies scale their
+  // steady-state checkpoint-traffic cost by it.
+  virtual double incremental_delta_fraction() const { return 1.0; }
+
   // Drops any half-built checkpoint block (used when a policy switch makes
   // the staged snapshots meaningless).
   virtual void DiscardStagedBlock() = 0;

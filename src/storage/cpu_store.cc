@@ -16,13 +16,27 @@ void CpuCheckpointStore::set_metrics(MetricsRegistry* metrics) {
     aborts_counter_ = &metrics->counter("cpu_store.aborts");
     crc_failures_counter_ = &metrics->counter("cpu_store.crc_failures");
     corruptions_counter_ = &metrics->counter("cpu_store.corruptions");
+    delta_commits_counter_ = &metrics->counter("cpu_store.delta_commits");
+    delta_bytes_saved_counter_ = &metrics->counter("delta.bytes_saved");
+    compaction_folds_counter_ = &metrics->counter("compaction.folds");
+    compaction_bytes_folded_counter_ = &metrics->counter("compaction.bytes_folded");
+    chain_length_gauge_ = &metrics->gauge("delta.chain_length");
   } else {
     commits_counter_ = nullptr;
     bytes_committed_counter_ = nullptr;
     aborts_counter_ = nullptr;
     crc_failures_counter_ = nullptr;
     corruptions_counter_ = nullptr;
+    delta_commits_counter_ = nullptr;
+    delta_bytes_saved_counter_ = nullptr;
+    compaction_folds_counter_ = nullptr;
+    compaction_bytes_folded_counter_ = nullptr;
+    chain_length_gauge_ = nullptr;
   }
+}
+
+void CpuCheckpointStore::ConfigureRedoLog(const RedoLogConfig& config) {
+  log_config_ = config;
 }
 
 void CpuCheckpointStore::ResetForMachine(Machine& machine) {
@@ -110,9 +124,87 @@ Status CpuCheckpointStore::CommitWrite(Checkpoint checkpoint) {
   slot.writing = false;
   slot.writing_iteration = -1;
   slot.received = 0;
+  if (log_config_.has_value()) {
+    // A full commit seals a new redo-log base; any older chain is subsumed.
+    if (!slot.log.has_value()) {
+      slot.log.emplace(*log_config_);
+    }
+    slot.log->Reset(*slot.completed);
+  }
   if (commits_counter_ != nullptr) {
     commits_counter_->Increment();
     bytes_committed_counter_->Increment(slot.completed->logical_bytes);
+  }
+  return Status::Ok();
+}
+
+Status CpuCheckpointStore::WriteDelta(DeltaCheckpoint delta) {
+  auto it = slots_.find(delta.owner_rank);
+  if (it == slots_.end()) {
+    return FailedPreconditionError("owner not hosted on this machine");
+  }
+  if (!log_config_.has_value()) {
+    return FailedPreconditionError("store is not in incremental mode");
+  }
+  Slot& slot = it->second;
+  if (!slot.log.has_value()) {
+    return FailedPreconditionError("no sealed base to append a delta to");
+  }
+  const Bytes delta_bytes = delta.delta_bytes;
+  const Bytes full_bytes = delta.logical_bytes;
+  GEMINI_RETURN_IF_ERROR(slot.log->Append(std::move(delta)));
+  if (delta_commits_counter_ != nullptr) {
+    delta_commits_counter_->Increment();
+    bytes_committed_counter_->Increment(delta_bytes);
+    delta_bytes_saved_counter_->Increment(full_bytes - delta_bytes);
+    chain_length_gauge_->Set(static_cast<double>(slot.log->chain_length()));
+  }
+  if (slot.log->NeedsCompaction()) {
+    const Bytes folded = slot.log->chain_bytes();
+    const Status compacted = slot.log->Compact();
+    if (compacted.ok()) {
+      // The folded base replaces the old completed checkpoint.
+      slot.completed = slot.log->base();
+      if (compaction_folds_counter_ != nullptr) {
+        compaction_folds_counter_->Increment();
+        compaction_bytes_folded_counter_->Increment(folded);
+      }
+    }
+    // A failed fold (corrupt link) is left in place: the read path will
+    // surface the corruption and the retry cascade takes over.
+  }
+  return Status::Ok();
+}
+
+int64_t CpuCheckpointStore::ChainHeadIteration(int owner_rank) const {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end()) {
+    return -1;
+  }
+  const Slot& slot = it->second;
+  if (slot.log.has_value() && slot.log->has_base()) {
+    return slot.log->latest_iteration();
+  }
+  return slot.completed.has_value() ? slot.completed->iteration : -1;
+}
+
+size_t CpuCheckpointStore::ChainLength(int owner_rank) const {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end() || !it->second.log.has_value()) {
+    return 0;
+  }
+  return it->second.log->chain_length();
+}
+
+Status CpuCheckpointStore::CorruptChainDelta(int owner_rank, size_t chain_index,
+                                             size_t bit_index) {
+  auto it = slots_.find(owner_rank);
+  if (it == slots_.end() || !it->second.log.has_value()) {
+    return NotFoundError("no redo log chain to corrupt");
+  }
+  GEMINI_RETURN_IF_ERROR(it->second.log->CorruptDelta(chain_index, bit_index));
+  if (corruptions_counter_ != nullptr) {
+    corruptions_counter_->Increment();
   }
   return Status::Ok();
 }
@@ -136,16 +228,43 @@ Status CpuCheckpointStore::WriteComplete(Checkpoint checkpoint) {
   return CommitWrite(std::move(checkpoint));
 }
 
-std::optional<Checkpoint> CpuCheckpointStore::Latest(int owner_rank) const {
+std::optional<Checkpoint> CpuCheckpointStore::LatestImpl(int owner_rank,
+                                                         bool count_failures) const {
   auto it = slots_.find(owner_rank);
   if (it == slots_.end()) {
     return std::nullopt;
   }
-  return it->second.completed;
+  const Slot& slot = it->second;
+  if (slot.log.has_value() && slot.log->chain_length() > 0) {
+    // Incremental mode with a live chain: replay base+deltas in epoch
+    // order. A corrupt link fails the whole replica — serving the base (an
+    // older iteration than siblings committed) would hand RestoreAll a
+    // mixed-iteration set, so the retry cascade falls to another holder or
+    // the persistent tier instead.
+    StatusOr<Checkpoint> materialized = slot.log->Materialize();
+    if (!materialized.ok()) {
+      if (count_failures) {
+        if (crc_failures_counter_ != nullptr) {
+          crc_failures_counter_->Increment();
+        }
+        GEMINI_LOG(kWarning) << "cpu store on " << machine_->DebugName()
+                             << ": delta chain for owner " << owner_rank
+                             << " failed to materialize (" << materialized.status()
+                             << "); treating as lost";
+      }
+      return std::nullopt;
+    }
+    return std::move(materialized).value();
+  }
+  return slot.completed;
+}
+
+std::optional<Checkpoint> CpuCheckpointStore::Latest(int owner_rank) const {
+  return LatestImpl(owner_rank, /*count_failures=*/false);
 }
 
 std::optional<Checkpoint> CpuCheckpointStore::LatestVerified(int owner_rank) const {
-  std::optional<Checkpoint> latest = Latest(owner_rank);
+  std::optional<Checkpoint> latest = LatestImpl(owner_rank, /*count_failures=*/true);
   if (!latest.has_value()) {
     return std::nullopt;
   }
@@ -162,8 +281,7 @@ std::optional<Checkpoint> CpuCheckpointStore::LatestVerified(int owner_rank) con
 }
 
 int64_t CpuCheckpointStore::LatestIteration(int owner_rank) const {
-  const std::optional<Checkpoint> latest = Latest(owner_rank);
-  return latest.has_value() ? latest->iteration : -1;
+  return ChainHeadIteration(owner_rank);
 }
 
 Status CpuCheckpointStore::CorruptLatest(int owner_rank, size_t bit_index) {

@@ -19,10 +19,12 @@
 #include "src/common/status.h"
 #include "src/storage/checkpoint.h"
 #include "src/storage/checkpoint_store.h"
+#include "src/storage/delta.h"
 
 namespace gemini {
 
 class Counter;
+class Gauge;
 class MetricsRegistry;
 
 class CpuCheckpointStore : public CheckpointStore {
@@ -60,6 +62,29 @@ class CpuCheckpointStore : public CheckpointStore {
   // GPU->CPU copies whose timing is handled by the caller).
   Status WriteComplete(Checkpoint checkpoint);
 
+  // Incremental mode. Once configured, every full commit seals a new redo
+  // log base for its owner, WriteDelta appends epoch-sealed deltas on top,
+  // and the read path (Latest / LatestVerified / LatestIteration)
+  // materializes base+chain transparently — callers never see the chain.
+  // The chain is folded into a new base when `config` caps are exceeded.
+  void ConfigureRedoLog(const RedoLogConfig& config);
+  bool incremental() const { return log_config_.has_value(); }
+
+  // Appends one delta to the owner's chain. The delta must extend the chain
+  // head exactly (epoch sealing); a stale or gapped delta is rejected and
+  // the caller should fall back to a full write.
+  Status WriteDelta(DeltaCheckpoint delta);
+
+  // Chain head iteration a new delta must base on (-1 when no base); equals
+  // LatestIteration in incremental mode but never materializes.
+  int64_t ChainHeadIteration(int owner_rank) const;
+  size_t ChainLength(int owner_rank) const;
+
+  // Fault injection: flips one payload bit inside the owner's chain at
+  // `chain_index` (mid-chain bit-rot; the per-chunk CRC gate catches it at
+  // materialization and the replica is treated as lost).
+  Status CorruptChainDelta(int owner_rank, size_t chain_index, size_t bit_index);
+
   // Latest completed checkpoint for an owner, if any.
   std::optional<Checkpoint> Latest(int owner_rank) const;
   // Like Latest(), but re-checks the payload CRC before serving: a replica
@@ -81,20 +106,33 @@ class CpuCheckpointStore : public CheckpointStore {
   struct Slot {
     Bytes replica_bytes = 0;
     std::optional<Checkpoint> completed;
+    // Epoch-sealed delta chain on top of `completed` (incremental mode).
+    std::optional<RedoLog> log;
     // Ongoing write state.
     bool writing = false;
     int64_t writing_iteration = -1;
     Bytes received = 0;
   };
 
+  // Serves the owner's newest state: the materialized chain in incremental
+  // mode (nullopt on a corrupt link when `count_failures`), else the
+  // completed full checkpoint.
+  std::optional<Checkpoint> LatestImpl(int owner_rank, bool count_failures) const;
+
   Machine* machine_;
   MetricsRegistry* metrics_ = nullptr;
+  std::optional<RedoLogConfig> log_config_;
   // Hot-path metric handles (resolved once in set_metrics).
   Counter* commits_counter_ = nullptr;
   Counter* bytes_committed_counter_ = nullptr;
   Counter* aborts_counter_ = nullptr;
   Counter* crc_failures_counter_ = nullptr;
   Counter* corruptions_counter_ = nullptr;
+  Counter* delta_commits_counter_ = nullptr;
+  Counter* delta_bytes_saved_counter_ = nullptr;
+  Counter* compaction_folds_counter_ = nullptr;
+  Counter* compaction_bytes_folded_counter_ = nullptr;
+  Gauge* chain_length_gauge_ = nullptr;
   std::map<int, Slot> slots_;
   Bytes reserved_ = 0;
 };

@@ -24,6 +24,7 @@
 #include "src/sim/simulator.h"
 #include "src/storage/checkpoint.h"
 #include "src/storage/checkpoint_store.h"
+#include "src/storage/delta.h"
 #include "src/storage/serializer.h"
 
 namespace gemini {
@@ -83,6 +84,30 @@ class PersistentStore : public CheckpointStore {
   // visible (durable) only at completion.
   TimeNs Save(Checkpoint checkpoint, int expected_world_size, DoneCallback done);
 
+  // Incremental mode: a full Save (or SeedImmediate) seals a per-owner redo
+  // log base; SaveDelta then uploads only the delta bytes through the same
+  // shared-bandwidth FIFO. At arrival the delta is appended to the owner's
+  // epoch-sealed chain, materialized (CRC-gated), and the materialized shard
+  // becomes durable — so the retrieval surface (Retrieve / Peek /
+  // LatestCompleteIteration) is unchanged and the chain is invisible to
+  // readers. Chains fold into a new base at the configured caps.
+  void ConfigureRedoLog(const RedoLogConfig& config);
+  bool incremental() const { return log_config_.has_value(); }
+
+  // Uploads one rank's delta on top of the owner's chain head. Deltas must
+  // be scheduled in epoch order on top of the previously scheduled state
+  // (the FIFO preserves arrival order); a seal violation surfaces through
+  // `done`.
+  TimeNs SaveDelta(DeltaCheckpoint delta, int expected_world_size, DoneCallback done);
+
+  // Chain head iteration a new delta must base on (-1 when no sealed base).
+  int64_t DeltaBaseIteration(int owner_rank) const;
+  size_t ChainLength(int owner_rank) const;
+
+  // Durable-epoch watermark: the newest iteration restorable from this tier
+  // (every rank's shard — full or materialized delta — is durable).
+  int64_t durable_epoch() const { return LatestCompleteIteration(); }
+
   // Downloads a shard; `done` receives the checkpoint at the simulated
   // completion time. Transient transfer failures (fault hook) and CRC
   // rejections are retried internally up to `retrieval_max_attempts` with
@@ -141,9 +166,15 @@ class PersistentStore : public CheckpointStore {
   TimeNs TryRetrieve(int owner_rank, int64_t iteration, int attempt,
                      std::function<void(StatusOr<Checkpoint>)> done);
 
+  // Seals a new chain base for the checkpoint's owner (incremental mode).
+  void ResetLogForFullSave(const Checkpoint& checkpoint);
+
   Simulator& sim_;
   PersistentStoreConfig config_;
   MetricsRegistry* metrics_ = nullptr;
+  std::optional<RedoLogConfig> log_config_;
+  // Per-owner epoch-sealed delta chains (incremental mode).
+  std::map<int, RedoLog> delta_logs_;
   // Hot-path metric handles (resolved once in set_metrics).
   Counter* saves_counter_ = nullptr;
   Counter* bytes_written_counter_ = nullptr;
@@ -151,6 +182,10 @@ class PersistentStore : public CheckpointStore {
   Counter* retries_counter_ = nullptr;
   Counter* crc_failures_counter_ = nullptr;
   Counter* corruptions_counter_ = nullptr;
+  Counter* delta_saves_counter_ = nullptr;
+  Counter* delta_bytes_saved_counter_ = nullptr;
+  Counter* compaction_folds_counter_ = nullptr;
+  Counter* compaction_bytes_folded_counter_ = nullptr;
   RetrievalFaultHook fault_hook_;
   ThreadPool* workers_ = nullptr;
   // Serialized-blob buffers recycled across disk-backed shard writes.

@@ -24,6 +24,20 @@ float UpdateDelta(uint64_t seed, int64_t iteration, int rank, size_t element) {
   return static_cast<float>(static_cast<double>(x >> 11) * 0x1.0p-53 - 0.5);
 }
 
+// Deterministic sparse-update predicate: whether (iteration, rank, chunk)
+// is touched this step. A distinct mix constant keeps it decorrelated from
+// UpdateDelta without a second seed.
+bool ChunkTouched(uint64_t seed, int64_t iteration, int rank, size_t chunk, double fraction) {
+  uint64_t x = seed ^ 0xD1B54A32D192ED03ULL;
+  x ^= static_cast<uint64_t>(iteration) * 0x9E3779B97F4A7C15ULL;
+  x ^= (static_cast<uint64_t>(rank) + 1) * 0xBF58476D1CE4E5B9ULL;
+  x ^= (static_cast<uint64_t>(chunk) + 1) * 0x94D049BB133111EBULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53 < fraction;
+}
+
 }  // namespace
 
 ShardedTrainer::ShardedTrainer(const ModelConfig& model, int num_machines, int payload_elements,
@@ -49,13 +63,97 @@ void ShardedTrainer::set_metrics(MetricsRegistry* metrics) {
       metrics != nullptr ? &metrics->counter("trainer.rollback_iterations") : nullptr;
 }
 
-void ShardedTrainer::Step() {
+void ShardedTrainer::SetSparseUpdates(double fraction, size_t chunk_elements) {
+  assert(fraction > 0.0);
+  assert(chunk_elements >= 1);
+  sparse_fraction_ = fraction;
+  sparse_chunk_elements_ = chunk_elements;
+}
+
+void ShardedTrainer::EnableDirtyTracking(size_t chunk_elements) {
+  assert(chunk_elements >= 1);
+  dirty_chunk_elements_ = chunk_elements;
+  dirty_.assign(static_cast<size_t>(num_machines_), {});
+  for (int rank = 0; rank < num_machines_; ++rank) {
+    // Everything starts dirty: no base has seen the initial states yet.
+    dirty_[static_cast<size_t>(rank)].assign(dirty_chunk_count(), 1);
+  }
+}
+
+size_t ShardedTrainer::dirty_chunk_count() const {
+  if (dirty_chunk_elements_ == 0 || shards_.empty()) {
+    return 0;
+  }
+  const size_t elements = shards_.front().size();
+  return (elements + dirty_chunk_elements_ - 1) / dirty_chunk_elements_;
+}
+
+std::vector<uint8_t> ShardedTrainer::TakeDirtyChunks(int rank) {
+  if (!dirty_tracking_enabled()) {
+    return {};
+  }
+  auto& bits = dirty_.at(static_cast<size_t>(rank));
+  std::vector<uint8_t> taken = bits;
+  std::fill(bits.begin(), bits.end(), 0);
+  return taken;
+}
+
+void ShardedTrainer::MarkAllDirty(int rank) {
+  if (dirty_tracking_enabled()) {
+    auto& bits = dirty_.at(static_cast<size_t>(rank));
+    std::fill(bits.begin(), bits.end(), 1);
+  }
+}
+
+void ShardedTrainer::MarkChunkDirty(int rank, size_t chunk) {
+  if (dirty_tracking_enabled()) {
+    dirty_.at(static_cast<size_t>(rank)).at(chunk) = 1;
+  }
+}
+
+void ShardedTrainer::UpdateShardsAtCurrentIteration() {
   for (int rank = 0; rank < num_machines_; ++rank) {
     auto& shard = shards_[static_cast<size_t>(rank)];
-    for (size_t i = 0; i < shard.size(); ++i) {
-      shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
+    if (sparse_fraction_ >= 1.0) {
+      // Dense fast path: exactly the historical update loop, bit for bit.
+      for (size_t i = 0; i < shard.size(); ++i) {
+        shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
+      }
+      MarkAllDirty(rank);
+      continue;
+    }
+    // Sparse mode: only touched chunks see the update (and its decay) this
+    // iteration — the MoE-style workload where most expert shards are
+    // frozen per step.
+    const size_t num_chunks =
+        (shard.size() + sparse_chunk_elements_ - 1) / sparse_chunk_elements_;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      if (!ChunkTouched(seed_, iteration_, rank, chunk, sparse_fraction_)) {
+        continue;
+      }
+      const size_t begin = chunk * sparse_chunk_elements_;
+      const size_t end = std::min(shard.size(), begin + sparse_chunk_elements_);
+      for (size_t i = begin; i < end; ++i) {
+        shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
+      }
+      if (dirty_tracking_enabled()) {
+        if (dirty_chunk_elements_ == sparse_chunk_elements_) {
+          MarkChunkDirty(rank, chunk);
+        } else {
+          // Different granularities: mark every tracking chunk the touched
+          // element range overlaps (conservative superset).
+          for (size_t e = begin; e < end; e += dirty_chunk_elements_) {
+            MarkChunkDirty(rank, e / dirty_chunk_elements_);
+          }
+          MarkChunkDirty(rank, (end - 1) / dirty_chunk_elements_);
+        }
+      }
     }
   }
+}
+
+void ShardedTrainer::Step() {
+  UpdateShardsAtCurrentIteration();
   ++iteration_;
   if (steps_counter_ != nullptr) {
     steps_counter_->Increment();
@@ -92,6 +190,9 @@ Status ShardedTrainer::RestoreShard(const Checkpoint& checkpoint) {
     return InvalidArgumentError("checkpoint payload size mismatch");
   }
   shard.assign(checkpoint.payload.begin(), checkpoint.payload.end());
+  // A restore can land arbitrarily far from any delta base; every chunk is
+  // potentially changed until the next full snapshot seals a new base.
+  MarkAllDirty(checkpoint.owner_rank);
   return Status::Ok();
 }
 
@@ -135,12 +236,7 @@ Status ShardedTrainer::ReplayTo(int64_t target_iteration) {
   }
   const int64_t replayed = target_iteration - iteration_;
   while (iteration_ < target_iteration) {
-    for (int rank = 0; rank < num_machines_; ++rank) {
-      auto& shard = shards_[static_cast<size_t>(rank)];
-      for (size_t i = 0; i < shard.size(); ++i) {
-        shard[i] = shard[i] * 0.999f + UpdateDelta(seed_, iteration_, rank, i);
-      }
-    }
+    UpdateShardsAtCurrentIteration();
     ++iteration_;
   }
   if (replayed > 0) {

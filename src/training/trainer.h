@@ -48,6 +48,26 @@ class ShardedTrainer {
   // iteration counter.
   void Step();
 
+  // Sparse-update workload mode (MoE-style: only "touched" chunks change per
+  // iteration). Each (iteration, rank, chunk) is touched with probability
+  // `fraction` under a deterministic hash; untouched chunks are frozen for
+  // that iteration. `fraction >= 1.0` (the default) is the dense path,
+  // bit-identical to a trainer that never heard of sparsity. Step() and
+  // ReplayTo() share the same predicate, so replay stays bit-exact.
+  void SetSparseUpdates(double fraction, size_t chunk_elements);
+  double sparse_update_fraction() const { return sparse_fraction_; }
+
+  // Chunk-granular dirty tracking for incremental checkpoints: once enabled,
+  // every chunk possibly modified since the owner's last TakeDirtyChunks()
+  // call has its change bit set (Step/ReplayTo mark touched chunks, restores
+  // mark everything — the bits are a conservative superset of real changes;
+  // content-level dedupe happens in BuildDeltaCheckpoint).
+  void EnableDirtyTracking(size_t chunk_elements);
+  bool dirty_tracking_enabled() const { return dirty_chunk_elements_ > 0; }
+  size_t dirty_chunk_count() const;
+  // Returns the accumulated change bits for `rank` and clears them.
+  std::vector<uint8_t> TakeDirtyChunks(int rank);
+
   const std::vector<float>& shard(int rank) const;
 
   // Snapshot of `rank`'s model states at the current iteration.
@@ -69,10 +89,24 @@ class ShardedTrainer {
   Status ReplayTo(int64_t target_iteration);
 
  private:
+  // One optimizer step over every shard at `iteration_` (dense or sparse);
+  // shared by Step() and the ReplayTo() loop so both trajectories are
+  // bit-identical.
+  void UpdateShardsAtCurrentIteration();
+  void MarkAllDirty(int rank);
+  void MarkChunkDirty(int rank, size_t chunk);
+
   ModelConfig model_;
   int num_machines_;
   uint64_t seed_;
   int64_t iteration_ = 0;
+  double sparse_fraction_ = 1.0;
+  size_t sparse_chunk_elements_ = 1;
+  // 0 = dirty tracking off.
+  size_t dirty_chunk_elements_ = 0;
+  // Per-rank change bits (one byte per chunk), accumulated since the rank's
+  // last TakeDirtyChunks().
+  std::vector<std::vector<uint8_t>> dirty_;
   MetricsRegistry* metrics_ = nullptr;
   RunTracer* tracer_ = nullptr;
   // Hot-path metric handles (resolved once in set_metrics).

@@ -147,6 +147,74 @@ TEST(ChaosTest, CorruptedReplicaForcesRetryCascadeToNextHolder) {
   ExpectStateMatchesReference(system, config, 8);
 }
 
+TEST(ChaosTest, CorruptedDeltaChainLinkForcesCascadeToIntactHolder) {
+  // Incremental mode, m=3: the dead rank 8 has two remote holders (6 and 7),
+  // each protecting it with a redo chain (base + deltas). A mid-chain link on
+  // the first holder is bit-flipped as retrieval starts; materialization must
+  // reject the whole chain at the CRC gate (serving the intact prefix would
+  // hand recovery a stale mix) and the retry cascade must fall back to the
+  // next holder's verified chain — still CPU memory, still bit-identical.
+  GeminiConfig config = SmallConfig();
+  config.num_machines = 9;
+  config.num_replicas = 3;
+  config.incremental.enabled = true;
+  config.incremental.chunk_elements = 4;
+  // Keep every delta in the chain (no folds) so the armed link index exists.
+  config.incremental.max_chain_length = 64;
+  GeminiSystem system(config);
+  ASSERT_TRUE(system.Initialize().ok());
+  system.failure_injector().InjectAt(Minutes(4), FailureType::kHardware, {8});
+  system.failure_injector().ArmDeltaCorruptionOnTrigger(kTriggerRetrievalStart,
+                                                        /*holder_rank=*/6, /*owner_rank=*/8,
+                                                        /*chain_index=*/0, /*bit_index=*/7);
+  const auto report = system.TrainUntil(8, /*sim_deadline=*/Hours(4));
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_GE(report->recoveries.size(), 1u);
+  EXPECT_EQ(report->recoveries[0].source, RecoverySource::kRemoteCpuMemory);
+  EXPECT_GE(system.metrics().counter_value("injector.corruptions_injected"), 1)
+      << "the armed chain link was never flipped (chain empty at the trigger?)";
+  EXPECT_GE(system.metrics().counter_value("cpu_store.crc_failures"), 1)
+      << "the corrupted chain must be rejected at materialization";
+  EXPECT_GE(system.metrics().counter_value("replicator.retries"), 1);
+  ExpectNoDroppedReports(system, *report);
+  EXPECT_EQ(report->iterations_completed, 8);
+  ExpectStateMatchesReference(system, config, 8);
+}
+
+TEST(ChaosTest, SoftwareFailureWithCorruptLocalChainFallsBackToDurableBase) {
+  // Software failure on rank 7: local CPU memory survives and would normally
+  // serve the restore (GEMINI's case-2 plan is local CPU -> persistent; no
+  // peer fetch). Rank 7's own delta chain for itself is corrupted right as
+  // recovery starts, so the local materialization must fail its CRC gate and
+  // the cascade must fall back to the last verified durable base in the
+  // persistent tier — never a silently mixed-iteration state.
+  GeminiConfig config = SmallConfig();
+  config.incremental.enabled = true;
+  config.incremental.chunk_elements = 4;
+  config.incremental.max_chain_length = 64;
+  GeminiSystem system(config);
+  ASSERT_TRUE(system.Initialize().ok());
+  system.failure_injector().InjectAt(Minutes(4), FailureType::kSoftware, {7});
+  system.failure_injector().ArmDeltaCorruptionOnTrigger(kTriggerRecoveryStart,
+                                                        /*holder_rank=*/7, /*owner_rank=*/7,
+                                                        /*chain_index=*/0, /*bit_index=*/11);
+  const auto report = system.TrainUntil(8, /*sim_deadline=*/Hours(4));
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  ASSERT_GE(report->recoveries.size(), 1u);
+  EXPECT_EQ(report->recoveries[0].type, FailureType::kSoftware);
+  EXPECT_EQ(report->recoveries[0].source, RecoverySource::kPersistentStorage)
+      << "the corrupt local chain must push recovery to the durable tier";
+  EXPECT_GE(system.metrics().counter_value("injector.corruptions_injected"), 1);
+  EXPECT_GE(system.metrics().counter_value("cpu_store.crc_failures"), 1);
+  EXPECT_LE(report->recoveries[0].rollback_iteration, report->recoveries[0].iteration_at_failure)
+      << "the durable base can only be at or before the failure point";
+  ExpectNoDroppedReports(system, *report);
+  EXPECT_EQ(report->iterations_completed, 8);
+  ExpectStateMatchesReference(system, config, 8);
+}
+
 TEST(ChaosTest, SoftwareFailureDuringReprotectionBothRecover) {
   // A hardware failure leaves the replaced machine's replica slots empty;
   // the background re-protection pass starts at resume. A software failure
